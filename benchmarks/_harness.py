@@ -1,0 +1,95 @@
+"""Shared helpers for the benchmark harnesses.
+
+Each ``bench_*.py`` file regenerates one table or figure from the paper's
+evaluation: it builds the relevant deployment(s), replays the paper's
+workload, prints the same rows/series the paper reports, attaches them to
+the pytest-benchmark report (``extra_info``), and asserts the qualitative
+shape (who wins, approximate ratios, crossover locations).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional
+
+from repro.baselines import DirectVLLMTarget
+from repro.core import FIRSTDeployment, calibration
+from repro.metrics import BenchmarkSummary
+from repro.serving import EngineConfig
+from repro.sim import Environment
+from repro.workload import BenchmarkClient, ShareGPTWorkload, make_arrival
+
+MODEL_70B = "meta-llama/Llama-3.3-70B-Instruct"
+MODEL_8B = "meta-llama/Llama-3.1-8B-Instruct"
+
+
+def print_table(title: str, summaries: List[BenchmarkSummary]) -> None:
+    print(f"\n=== {title} ===")
+    for summary in summaries:
+        print("  " + summary.row())
+
+
+def summaries_to_extra_info(summaries: List[BenchmarkSummary]) -> Dict[str, dict]:
+    return {s.label: s.to_dict() for s in summaries}
+
+
+def run_first_scenario(
+    model: str,
+    num_requests: int,
+    rate: Optional[float],
+    max_instances: int = 1,
+    prewarm_instances: int = 1,
+    num_nodes: int = 8,
+    label: Optional[str] = None,
+) -> BenchmarkSummary:
+    """Benchmark the FIRST path (gateway → relay → endpoint → engine)."""
+    deployment = FIRSTDeployment.sophia_benchmark(
+        model=model, max_instances=max_instances, num_nodes=num_nodes
+    )
+    deployment.warm_up(model, instances=prewarm_instances)
+    client = deployment.client("benchmark@anl.gov")
+    # Warm the gateway's token/introspection cache with one request so the
+    # measured run matches the paper's steady-state deployment.
+    warm = client.submit(
+        ShareGPTWorkload().generate(model, num_requests=1, id_prefix="warmup")[0]
+    )
+    deployment.env.run(until=warm)
+
+    requests = ShareGPTWorkload().generate(model, num_requests=num_requests)
+    bench = BenchmarkClient(deployment.env, client, label="FIRST")
+    proc = deployment.env.process(
+        bench.run(requests, arrival=make_arrival(rate),
+                  summary_label=label or f"FIRST @ {rate or 'inf'}")
+    )
+    return deployment.env.run(until=proc)
+
+
+def run_direct_scenario(
+    model: str,
+    num_requests: int,
+    rate: Optional[float],
+    label: Optional[str] = None,
+) -> BenchmarkSummary:
+    """Benchmark the vLLM-Direct path (client → API server → engine)."""
+    from repro.cluster import Node, dgx_a100_spec
+    from repro.serving import default_catalog
+
+    env = Environment()
+    catalog = default_catalog()
+    spec = catalog.get(model)
+    nodes = [Node(f"direct-{i}", dgx_a100_spec()) for i in range(max(1, spec.default_tp // 8))]
+    pending, ready = DirectVLLMTarget.launch(
+        env, spec, nodes,
+        perf_config=calibration.default_perf_config(),
+        engine_config=EngineConfig(generate_text=False),
+        api_config=calibration.default_api_server_config(),
+    )
+    env.run(until=ready)
+    target = pending.materialise()
+
+    requests = ShareGPTWorkload().generate(spec.name, num_requests=num_requests)
+    bench = BenchmarkClient(env, target, label="vLLM Direct")
+    proc = env.process(
+        bench.run(requests, arrival=make_arrival(rate),
+                  summary_label=label or f"vLLM Direct @ {rate or 'inf'}")
+    )
+    return env.run(until=proc)

@@ -1,0 +1,72 @@
+"""Figure 3 — Performance vs. request rate, FIRST vs. vLLM Direct (Llama 3.3 70B).
+
+Paper series (single Sophia node, 8xA100, 1000 ShareGPT requests):
+
+* at 1 req/s the direct path is faster per request (3.0 s vs 9.2 s median);
+* at 20 req/s and at the infinite rate FIRST sustains higher request and
+  output-token throughput (9.2 vs 5.8 req/s, 1677 vs 1054 tok/s) and lower
+  median latency (46.9 s vs 80.2 s) because the asynchronous gateway buffers
+  the burst instead of exposing the single-threaded vLLM front-end to it.
+
+This harness regenerates all four panels (request throughput, output token
+throughput, median end-to-end latency, duration) for both systems across the
+same rate sweep and asserts the crossover.
+"""
+
+import pytest
+
+from _harness import (
+    MODEL_70B,
+    print_table,
+    run_direct_scenario,
+    run_first_scenario,
+    summaries_to_extra_info,
+)
+
+#: Offered request rates of the paper's sweep (None = infinite).
+RATES = [1.0, 5.0, 10.0, 20.0, None]
+NUM_REQUESTS = 1000
+
+
+def _rate_label(rate):
+    return "inf" if rate is None else f"{rate:g} req/s"
+
+
+def run_sweep():
+    results = {}
+    for rate in RATES:
+        n = NUM_REQUESTS if (rate is None or rate >= 5.0) else 300
+        results[("direct", rate)] = run_direct_scenario(
+            MODEL_70B, n, rate, label=f"vLLM Direct @ {_rate_label(rate)}"
+        )
+        results[("first", rate)] = run_first_scenario(
+            MODEL_70B, n, rate, label=f"FIRST @ {_rate_label(rate)}"
+        )
+    return results
+
+
+@pytest.mark.benchmark(group="fig3")
+def test_fig3_request_rate_sweep(benchmark):
+    results = benchmark.pedantic(run_sweep, rounds=1, iterations=1)
+    summaries = [results[(sys_, rate)] for rate in RATES for sys_ in ("direct", "first")]
+    print_table("Figure 3: performance vs request rate (Llama 3.3 70B, 1 node)", summaries)
+    benchmark.extra_info.update(summaries_to_extra_info(summaries))
+
+    direct_low, first_low = results[("direct", 1.0)], results[("first", 1.0)]
+    direct_20, first_20 = results[("direct", 20.0)], results[("first", 20.0)]
+    direct_inf, first_inf = results[("direct", None)], results[("first", None)]
+
+    # Low rate: the extra gateway/relay hops make FIRST slower per request.
+    assert direct_low.median_latency_s < first_low.median_latency_s
+    assert first_low.median_latency_s - direct_low.median_latency_s > 3.0
+
+    # High rate / infinite rate: FIRST sustains more throughput at lower latency.
+    for direct, first in ((direct_20, first_20), (direct_inf, first_inf)):
+        assert first.request_throughput > direct.request_throughput * 1.15
+        assert first.output_token_throughput > direct.output_token_throughput * 1.15
+        assert first.median_latency_s < direct.median_latency_s
+        assert first.duration_s < direct.duration_s
+
+    # Both systems deliver every request successfully.
+    assert first_inf.num_successful == NUM_REQUESTS
+    assert direct_inf.num_successful == NUM_REQUESTS

@@ -1,0 +1,70 @@
+"""Figure 5 — FIRST (Llama 3.1 8B) vs. the OpenAI API (GPT-4o-mini).
+
+Paper numbers: FIRST reaches 25.1 req/s and 3283 tok/s at 16.3 s median
+latency; the OpenAI API delivers 6.7 req/s and 1199 tok/s at 2.0 s median
+latency.  The comparison illustrates the trade-off: the commercial cloud API
+is snappier per request, but the self-hosted deployment sustains several
+times more concurrent throughput on secure HPC resources.
+
+Notes on the reproduction:
+
+* the FIRST side runs the 8B model (TP=4) with auto-scaling allowed to use
+  four instances, which is how a saturated deployment on 8-GPU nodes behaves;
+* the OpenAI side is driven at its account rate limit (the paper notes its
+  results "may be influenced by service-side rate limiting"), so the measured
+  latency reflects service time rather than client-side queueing.
+"""
+
+import pytest
+
+from _harness import MODEL_8B, print_table, summaries_to_extra_info, run_first_scenario
+
+from repro.baselines import OpenAIAPIConfig, OpenAIAPITarget
+from repro.sim import Environment
+from repro.workload import BenchmarkClient, PoissonArrival, ShareGPTWorkload
+
+NUM_REQUESTS = 1000
+
+
+def run_comparison():
+    first = run_first_scenario(
+        MODEL_8B,
+        NUM_REQUESTS,
+        rate=None,
+        max_instances=4,
+        prewarm_instances=4,
+        num_nodes=4,
+        label="FIRST (Llama 3.1 8B)",
+    )
+
+    env = Environment()
+    target = OpenAIAPITarget(env, OpenAIAPIConfig())
+    requests = ShareGPTWorkload().generate("gpt-4o-mini", num_requests=NUM_REQUESTS)
+    client = BenchmarkClient(env, target, label="OpenAI API")
+    proc = env.process(
+        client.run(requests, arrival=PoissonArrival(rate=6.0, seed=17),
+                   summary_label="OpenAI API (GPT-4o-mini)")
+    )
+    openai = env.run(until=proc)
+    return {"first": first, "openai": openai}
+
+
+@pytest.mark.benchmark(group="fig5")
+def test_fig5_first_vs_openai(benchmark):
+    results = benchmark.pedantic(run_comparison, rounds=1, iterations=1)
+    first, openai = results["first"], results["openai"]
+    print_table("Figure 5: FIRST (Llama 3.1 8B) vs OpenAI API (GPT-4o-mini)", [first, openai])
+    benchmark.extra_info.update(summaries_to_extra_info([first, openai]))
+
+    # FIRST wins decisively on throughput (paper: 25.1 vs 6.7 req/s, ~3.7x).
+    assert first.request_throughput > 2.5 * openai.request_throughput
+    assert first.output_token_throughput > 2.0 * openai.output_token_throughput
+
+    # The cloud API wins decisively on per-request latency (paper: 2.0 s vs 16.3 s).
+    assert openai.median_latency_s < 4.0
+    assert first.median_latency_s > 3 * openai.median_latency_s
+
+    # Sanity: both served every request, and the OpenAI rate hovered near its limit.
+    assert first.num_successful == NUM_REQUESTS
+    assert openai.num_successful == NUM_REQUESTS
+    assert 4.0 <= openai.request_throughput <= 7.5

@@ -1,0 +1,15 @@
+"""Benchmark-suite configuration.
+
+Run with::
+
+    pytest benchmarks/ --benchmark-only -s
+
+``-s`` shows the regenerated paper tables; the same data is attached to the
+pytest-benchmark report via ``extra_info``.
+"""
+
+import sys
+from pathlib import Path
+
+# Allow ``import _harness`` from every bench module regardless of rootdir.
+sys.path.insert(0, str(Path(__file__).parent))

@@ -1,0 +1,55 @@
+"""repro — reproduction of FIRST (Federated Inference Resource Scheduling Toolkit).
+
+The package is organised as a set of substrates (``sim``, ``cluster``,
+``serving``, ``faas``, ``auth``) with the paper's contribution layered on top
+(``gateway``, ``federation``, ``core``) plus the workload/metrics/baseline
+machinery needed to regenerate every figure and table in the paper's
+evaluation (``workload``, ``metrics``, ``baselines``, ``webui``, ``rag``).
+
+Most users should start from :mod:`repro.core`:
+
+>>> from repro.core import FIRSTDeployment
+>>> deployment = FIRSTDeployment.quickstart()
+>>> client = deployment.client(user="alice@university.edu")
+>>> response = client.chat_completion(
+...     "Qwen/Qwen2.5-7B-Instruct",
+...     [{"role": "user", "content": "Hello"}],
+... )
+"""
+
+from . import (
+    auth,
+    baselines,
+    cluster,
+    common,
+    core,
+    faas,
+    federation,
+    gateway,
+    metrics,
+    rag,
+    serving,
+    sim,
+    webui,
+    workload,
+)
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "__version__",
+    "sim",
+    "common",
+    "cluster",
+    "serving",
+    "faas",
+    "auth",
+    "gateway",
+    "federation",
+    "workload",
+    "metrics",
+    "baselines",
+    "webui",
+    "rag",
+    "core",
+]

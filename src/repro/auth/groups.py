@@ -1,0 +1,71 @@
+"""Globus-Groups-like group membership service.
+
+The gateway "uses Globus Groups to implement role-based access control ...
+researchers working on sensitive projects may be granted special access to
+specific models or computational resources" (§3.1.2).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Set
+
+__all__ = ["Group", "GroupService"]
+
+
+@dataclass
+class Group:
+    """A named group with member usernames and optional admin usernames."""
+
+    name: str
+    members: Set[str] = field(default_factory=set)
+    admins: Set[str] = field(default_factory=set)
+    description: str = ""
+
+
+class GroupService:
+    """In-memory group membership registry."""
+
+    def __init__(self):
+        self._groups: Dict[str, Group] = {}
+
+    def create_group(self, name: str, description: str = "") -> Group:
+        if name in self._groups:
+            raise ValueError(f"Group {name} already exists")
+        group = Group(name=name, description=description)
+        self._groups[name] = group
+        return group
+
+    def get(self, name: str) -> Group:
+        try:
+            return self._groups[name]
+        except KeyError:
+            raise KeyError(f"Unknown group: {name}") from None
+
+    def add_member(self, group: str, username: str, admin: bool = False) -> None:
+        g = self.get(group)
+        g.members.add(username)
+        if admin:
+            g.admins.add(username)
+
+    def remove_member(self, group: str, username: str) -> None:
+        g = self.get(group)
+        g.members.discard(username)
+        g.admins.discard(username)
+
+    def is_member(self, group: str, username: str) -> bool:
+        if group not in self._groups:
+            return False
+        return username in self._groups[group].members
+
+    def is_admin(self, group: str, username: str) -> bool:
+        if group not in self._groups:
+            return False
+        return username in self._groups[group].admins
+
+    def groups_of(self, username: str) -> List[str]:
+        return sorted(name for name, g in self._groups.items() if username in g.members)
+
+    @property
+    def group_names(self) -> List[str]:
+        return sorted(self._groups)

@@ -1,0 +1,6 @@
+"""Comparison baselines: direct vLLM access and the OpenAI-API cloud service."""
+
+from .direct import DirectVLLMTarget
+from .openai_api import OpenAIAPIConfig, OpenAIAPITarget
+
+__all__ = ["DirectVLLMTarget", "OpenAIAPIConfig", "OpenAIAPITarget"]

@@ -1,0 +1,90 @@
+"""The commercial-cloud baseline of §5.3.3 (OpenAI API serving GPT-4o-mini).
+
+The paper contrasts FIRST with the OpenAI API: the cloud service delivers
+much lower per-request latency (≈2 s median) but, under the account's rate
+limits, completes far fewer requests per second (≈6.7 req/s, ≈1200 tok/s).
+The model here captures exactly those two properties:
+
+* each admitted request completes after a lognormal service latency centred
+  on ``median_latency_s``;
+* the service enforces an account-level rate limit (token bucket) plus a
+  concurrency cap; requests beyond it wait (the benchmark client in the
+  paper was likewise throttled by "service-side rate limiting").
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+from ..common import RandomSource
+from ..serving import InferenceRequest, InferenceResult
+from ..sim import Environment, Event, Resource
+
+__all__ = ["OpenAIAPIConfig", "OpenAIAPITarget"]
+
+
+@dataclass
+class OpenAIAPIConfig:
+    """Cloud-service behaviour (defaults match the paper's observations)."""
+
+    model_name: str = "gpt-4o-mini"
+    median_latency_s: float = 2.0
+    latency_sigma: float = 0.25
+    #: Requests per second the account's rate limit admits.
+    rate_limit_rps: float = 6.7
+    #: Maximum simultaneously processed requests.
+    max_concurrency: int = 32
+    seed: int = 99
+
+
+class OpenAIAPITarget:
+    """Benchmark target modelling a commercial cloud inference API."""
+
+    name = "OpenAI API"
+
+    def __init__(self, env: Environment, config: Optional[OpenAIAPIConfig] = None):
+        self.env = env
+        self.config = config or OpenAIAPIConfig()
+        self._random = RandomSource(seed=self.config.seed)
+        self._concurrency = Resource(env, capacity=self.config.max_concurrency)
+        self._next_admission = 0.0
+        self.completed = 0
+        self.rate_limited_waits = 0
+
+    def submit(self, request: InferenceRequest) -> Event:
+        done = self.env.event()
+        self.env.process(self._serve(request, done))
+        return done
+
+    def _serve(self, request: InferenceRequest, done: Event):
+        cfg = self.config
+        # Account-level admission (token bucket at rate_limit_rps).
+        interval = 1.0 / cfg.rate_limit_rps
+        admit_at = max(self.env.now, self._next_admission)
+        self._next_admission = admit_at + interval
+        if admit_at > self.env.now:
+            self.rate_limited_waits += 1
+            yield self.env.timeout(admit_at - self.env.now)
+
+        with self._concurrency.request() as slot:
+            yield slot
+            latency = self._random.lognormal(cfg.median_latency_s, cfg.latency_sigma)
+            yield self.env.timeout(latency)
+
+        self.completed += 1
+        result = InferenceResult(
+            request_id=request.request_id,
+            model=cfg.model_name,
+            prompt_tokens=request.prompt_tokens,
+            output_tokens=request.max_output_tokens,
+            success=True,
+            arrival_time=request.arrival_time,
+            engine_enqueue_time=request.arrival_time,
+            first_token_time=self.env.now,
+            completion_time=self.env.now,
+            instance_id="openai-cloud",
+            cluster="openai",
+        )
+        if not done.triggered:
+            done.succeed(result)

@@ -1,0 +1,75 @@
+"""Background (non-inference) load on a shared cluster.
+
+Sophia is a *shared* 24-node cluster: inference jobs compete with other
+users' batch jobs for nodes.  :class:`BackgroundLoadGenerator` submits
+synthetic jobs so the federation and cold-start experiments can exercise
+realistic queue-wait behaviour.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional
+
+from ..common import RandomSource
+from ..sim import Environment
+from .job import JobRequest
+from .scheduler import SchedulerBase
+
+__all__ = ["BackgroundLoadConfig", "BackgroundLoadGenerator"]
+
+
+@dataclass
+class BackgroundLoadConfig:
+    """Parameters of the synthetic background job stream."""
+
+    #: Mean inter-arrival time between background jobs (seconds).
+    mean_interarrival_s: float = 600.0
+    #: Mean job duration (seconds); actual durations are lognormal.
+    mean_duration_s: float = 1800.0
+    duration_sigma: float = 0.6
+    min_nodes: int = 1
+    max_nodes: int = 4
+    #: Stop submitting after this many jobs (None = unlimited).
+    max_jobs: Optional[int] = None
+
+
+class BackgroundLoadGenerator:
+    """Submits a stream of synthetic batch jobs to a scheduler."""
+
+    def __init__(
+        self,
+        env: Environment,
+        scheduler: SchedulerBase,
+        config: Optional[BackgroundLoadConfig] = None,
+        random: Optional[RandomSource] = None,
+    ):
+        self.env = env
+        self.scheduler = scheduler
+        self.config = config or BackgroundLoadConfig()
+        self.random = random or RandomSource(seed=1234)
+        self.submitted: List[str] = []
+        self._proc = None
+
+    def start(self) -> None:
+        """Begin submitting background jobs."""
+        if self._proc is None:
+            self._proc = self.env.process(self._run())
+
+    def _run(self):
+        cfg = self.config
+        count = 0
+        while cfg.max_jobs is None or count < cfg.max_jobs:
+            yield self.env.timeout(self.random.exponential(cfg.mean_interarrival_s))
+            nodes = self.random.integers(cfg.min_nodes, cfg.max_nodes)
+            duration = max(60.0, self.random.lognormal(cfg.mean_duration_s, cfg.duration_sigma))
+            request = JobRequest(
+                name=f"background-{count}",
+                num_nodes=nodes,
+                gpus_per_node=self.scheduler.cluster.nodes[0].spec.gpus_per_node,
+                walltime_s=duration,
+                metadata={"kind": "background"},
+            )
+            handle = self.scheduler.submit(request)
+            self.submitted.append(handle.job.job_id)
+            count += 1

@@ -1,0 +1,67 @@
+"""Facility status providers.
+
+The paper's federation layer "queries the publicly available status of each
+cluster" before deciding where to route a request (§4.5).  A
+:class:`FacilityStatusProvider` wraps a scheduler and exposes that public
+view, optionally with a query latency (the real query hits a facility web
+service) and a staleness window (status pages are refreshed periodically,
+not on every request).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+from ..sim import Environment
+from .cluster import ClusterStatus
+from .scheduler import SchedulerBase
+
+__all__ = ["FacilityStatusProvider"]
+
+
+@dataclass
+class _CachedStatus:
+    status: ClusterStatus
+    at: float
+
+
+class FacilityStatusProvider:
+    """Publicly queryable cluster status with latency and caching."""
+
+    def __init__(
+        self,
+        env: Environment,
+        scheduler: SchedulerBase,
+        query_latency_s: float = 0.2,
+        refresh_interval_s: float = 60.0,
+    ):
+        self.env = env
+        self.scheduler = scheduler
+        self.query_latency_s = query_latency_s
+        self.refresh_interval_s = refresh_interval_s
+        self._cache: Optional[_CachedStatus] = None
+        self.query_count = 0
+
+    @property
+    def cluster_name(self) -> str:
+        return self.scheduler.cluster.name
+
+    def snapshot(self) -> ClusterStatus:
+        """Instantaneous status (no latency); used internally and in tests."""
+        return self.scheduler.status()
+
+    def query(self):
+        """Simulation process: query the public status endpoint.
+
+        Yields the query latency, then returns a possibly stale
+        :class:`ClusterStatus` (refreshed at most every
+        ``refresh_interval_s`` seconds, like a real facility status page).
+        """
+        self.query_count += 1
+        if self.query_latency_s > 0:
+            yield self.env.timeout(self.query_latency_s)
+        now = self.env.now
+        if self._cache is None or now - self._cache.at >= self.refresh_interval_s:
+            self._cache = _CachedStatus(status=self.snapshot(), at=now)
+        return self._cache.status

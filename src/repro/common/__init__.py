@@ -1,0 +1,28 @@
+"""Shared utilities: errors, deterministic id generation and RNG helpers."""
+
+from .errors import (
+    AuthenticationError,
+    AuthorizationError,
+    CapacityError,
+    ConfigurationError,
+    NotFoundError,
+    RateLimitError,
+    ReproError,
+    ValidationError,
+)
+from .ids import IdGenerator, short_uuid
+from .randomness import RandomSource
+
+__all__ = [
+    "ReproError",
+    "AuthenticationError",
+    "AuthorizationError",
+    "ValidationError",
+    "RateLimitError",
+    "NotFoundError",
+    "CapacityError",
+    "ConfigurationError",
+    "IdGenerator",
+    "short_uuid",
+    "RandomSource",
+]

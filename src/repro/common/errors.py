@@ -1,0 +1,68 @@
+"""Exception hierarchy shared across the reproduction.
+
+The gateway maps these onto HTTP-style status codes (see
+:mod:`repro.gateway.responses`), mirroring how the FIRST Inference Gateway
+reports authentication, validation, rate-limit and capacity failures.
+"""
+
+from __future__ import annotations
+
+__all__ = [
+    "ReproError",
+    "AuthenticationError",
+    "AuthorizationError",
+    "ValidationError",
+    "RateLimitError",
+    "NotFoundError",
+    "CapacityError",
+    "ConfigurationError",
+]
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by the reproduction."""
+
+    #: HTTP-style status code used by the gateway when surfacing the error.
+    status_code = 500
+
+
+class AuthenticationError(ReproError):
+    """The caller could not be identified (missing/expired/invalid token)."""
+
+    status_code = 401
+
+
+class AuthorizationError(ReproError):
+    """The caller is identified but not allowed to perform the action."""
+
+    status_code = 403
+
+
+class ValidationError(ReproError):
+    """The request payload is malformed or violates model constraints."""
+
+    status_code = 422
+
+
+class RateLimitError(ReproError):
+    """The caller exceeded a configured rate limit."""
+
+    status_code = 429
+
+
+class NotFoundError(ReproError):
+    """A referenced entity (model, endpoint, batch, job) does not exist."""
+
+    status_code = 404
+
+
+class CapacityError(ReproError):
+    """No resources are available to satisfy the request."""
+
+    status_code = 503
+
+
+class ConfigurationError(ReproError):
+    """A deployment or endpoint configuration is inconsistent."""
+
+    status_code = 500

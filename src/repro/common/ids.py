@@ -1,0 +1,43 @@
+"""Deterministic identifier generation.
+
+Real FIRST components use UUIDs; the reproduction prefers deterministic,
+readable identifiers so that simulation traces and test assertions are
+stable across runs.
+"""
+
+from __future__ import annotations
+
+import itertools
+import uuid
+from typing import Dict
+
+__all__ = ["IdGenerator", "short_uuid"]
+
+
+class IdGenerator:
+    """Produces deterministic ids of the form ``<prefix>-<counter>``.
+
+    A single generator is usually shared per deployment so that ids are
+    globally unique within a simulation run.
+    """
+
+    def __init__(self):
+        self._counters: Dict[str, itertools.count] = {}
+
+    def next(self, prefix: str) -> str:
+        """Return the next id for ``prefix`` (e.g. ``task-000041``)."""
+        counter = self._counters.setdefault(prefix, itertools.count())
+        return f"{prefix}-{next(counter):06d}"
+
+    def peek_count(self, prefix: str) -> int:
+        """Number of ids already handed out for ``prefix``."""
+        counter = self._counters.get(prefix)
+        if counter is None:
+            return 0
+        # itertools.count does not expose its state; copy via repr.
+        return int(repr(counter).split("(")[1].rstrip(")"))
+
+
+def short_uuid() -> str:
+    """A short random identifier for cases where determinism is not needed."""
+    return uuid.uuid4().hex[:12]

@@ -1,0 +1,19 @@
+"""The FIRST toolkit facade: deployments, calibration and the client SDK."""
+
+from . import calibration
+from .client import FIRSTClient
+from .deployment import (
+    ClusterDeploymentSpec,
+    DeploymentConfig,
+    FIRSTDeployment,
+    ModelDeploymentSpec,
+)
+
+__all__ = [
+    "FIRSTDeployment",
+    "DeploymentConfig",
+    "ClusterDeploymentSpec",
+    "ModelDeploymentSpec",
+    "FIRSTClient",
+    "calibration",
+]

@@ -1,0 +1,112 @@
+"""OpenAI-style Python client bound to a FIRST deployment.
+
+"Once authenticated, users can make API requests using standard HTTP clients
+or the OpenAI Python package" (§4.6).  :class:`FIRSTClient` plays the role of
+that OpenAI client: it holds the user's access token (refreshing it when
+needed) and exposes ``chat_completion``, ``completion``, ``embedding``,
+``create_batch``, ``jobs`` and ``models`` calls.
+
+Two calling styles are supported:
+
+* **blocking** (examples): ``client.chat_completion(...)`` advances the
+  simulation until the response is available and returns the OpenAI dict;
+* **target protocol** (benchmarks): ``client.submit(request)`` returns a
+  simulation event, which is what :class:`~repro.workload.BenchmarkClient`
+  expects.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional
+
+from ..auth import TokenBundle
+from ..serving import InferenceRequest
+from ..sim import Event
+
+__all__ = ["FIRSTClient"]
+
+
+class FIRSTClient:
+    """A user-facing client for one authenticated identity."""
+
+    def __init__(self, deployment, token_bundle: TokenBundle):
+        self.deployment = deployment
+        self.env = deployment.env
+        self.gateway = deployment.gateway
+        self._bundle = token_bundle
+
+    # ------------------------------------------------------------------ token handling
+    @property
+    def username(self) -> str:
+        return self._bundle.username
+
+    @property
+    def access_token(self) -> str:
+        self._maybe_refresh()
+        return self._bundle.access_token
+
+    @property
+    def name(self) -> str:
+        return "FIRST"
+
+    def _maybe_refresh(self) -> None:
+        """Transparently refresh the access token when it nears expiry (§4.6)."""
+        if self.env.now >= self._bundle.expires_at - 300.0:
+            self._bundle = self.deployment.auth.refresh(self._bundle.refresh_token)
+
+    # ------------------------------------------------------------------ target protocol
+    def submit(self, request: InferenceRequest) -> Event:
+        """Submit a typed request; returns the result event (benchmark protocol)."""
+        return self.gateway.submit_request(self.access_token, request)
+
+    # ------------------------------------------------------------------ blocking helpers
+    def _call(self, generator):
+        proc = self.env.process(generator)
+        return self.env.run(until=proc)
+
+    def chat_completion(self, model: str, messages: List[Dict[str, str]],
+                        max_tokens: int = 256, **params) -> dict:
+        """``POST /v1/chat/completions`` (blocking)."""
+        body = {"model": model, "messages": messages, "max_tokens": max_tokens, **params}
+        return self._call(self.gateway.chat_completions(self.access_token, body))
+
+    def completion(self, model: str, prompt: str, max_tokens: int = 256, **params) -> dict:
+        """``POST /v1/completions`` (blocking)."""
+        body = {"model": model, "prompt": prompt, "max_tokens": max_tokens, **params}
+        return self._call(self.gateway.completions(self.access_token, body))
+
+    def embedding(self, model: str, text: str) -> dict:
+        """``POST /v1/embeddings`` (blocking)."""
+        body = {"model": model, "input": text}
+        return self._call(self.gateway.embeddings(self.access_token, body))
+
+    def create_batch(self, input_jsonl: str, endpoint_id: Optional[str] = None) -> dict:
+        """``POST /v1/batches`` (blocking submit; poll with :meth:`get_batch`)."""
+        return self._call(self.gateway.create_batch(self.access_token, input_jsonl, endpoint_id))
+
+    def get_batch(self, batch_id: str) -> dict:
+        return self._call(self.gateway.get_batch(self.access_token, batch_id))
+
+    def wait_for_batch(self, batch_id: str, poll_every_s: float = 30.0,
+                       timeout_s: float = 24 * 3600.0) -> dict:
+        """Advance the simulation until the batch reaches a terminal state."""
+        waited = 0.0
+        while waited < timeout_s:
+            status = self.get_batch(batch_id)
+            if status["status"] in ("completed", "failed"):
+                return status
+            self.deployment.run_for(poll_every_s)
+            waited += poll_every_s
+        raise TimeoutError(f"Batch {batch_id} did not finish within {timeout_s}s")
+
+    # ------------------------------------------------------------------ informational
+    def models(self) -> dict:
+        """``GET /v1/models``."""
+        return self.gateway.list_models()
+
+    def jobs(self) -> List[dict]:
+        """``GET /jobs`` — model availability / wait-time transparency (§4.3)."""
+        return self.gateway.jobs()
+
+    def dashboard(self) -> dict:
+        return self.gateway.dashboard()

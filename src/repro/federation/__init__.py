@@ -1,0 +1,20 @@
+"""Federation layer: endpoint registry and routing policies (§4.5)."""
+
+from .registry import FederatedEndpoint, FederationRegistry
+from .router import (
+    FederationRouter,
+    FirstConfiguredRouter,
+    PriorityRouter,
+    RandomRouter,
+    RoutingDecision,
+)
+
+__all__ = [
+    "FederationRegistry",
+    "FederatedEndpoint",
+    "FederationRouter",
+    "PriorityRouter",
+    "RandomRouter",
+    "FirstConfiguredRouter",
+    "RoutingDecision",
+]

@@ -1,0 +1,120 @@
+"""Federated endpoint selection.
+
+The paper's proof-of-concept federation algorithm (§4.5):
+
+1. prefer an endpoint where the requested model is already **running or
+   queued** (low latency: no cold start);
+2. otherwise prefer an endpoint whose cluster has **free nodes**;
+3. otherwise fall back to the **first endpoint configured** for the model.
+
+Two alternative policies (random, first-configured-always) are provided for
+the ablation benchmark in ``benchmarks/bench_federation.py``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
+
+from ..common import NotFoundError, RandomSource
+from .registry import FederatedEndpoint, FederationRegistry
+
+__all__ = ["RoutingDecision", "FederationRouter", "PriorityRouter", "RandomRouter",
+           "FirstConfiguredRouter"]
+
+
+@dataclass
+class RoutingDecision:
+    """Outcome of a routing query (kept for observability/logging)."""
+
+    model: str
+    endpoint_id: str
+    cluster: str
+    rule: str
+    candidates: int
+
+    def to_dict(self) -> dict:
+        return {
+            "model": self.model,
+            "endpoint": self.endpoint_id,
+            "cluster": self.cluster,
+            "rule": self.rule,
+            "candidates": self.candidates,
+        }
+
+
+class FederationRouter:
+    """Base router: subclasses implement :meth:`_choose`."""
+
+    policy_name = "base"
+
+    def __init__(self, registry: FederationRegistry):
+        self.registry = registry
+        self.decisions: List[RoutingDecision] = []
+
+    def select(self, model: str):
+        """Simulation process: choose an endpoint for ``model``."""
+        candidates = self.registry.endpoints_for_model(model)
+        if not candidates:
+            raise NotFoundError(f"No federated endpoint hosts model {model}")
+        chosen, rule = yield from self._choose(model, candidates)
+        decision = RoutingDecision(
+            model=model,
+            endpoint_id=chosen.endpoint_id,
+            cluster=chosen.cluster,
+            rule=rule,
+            candidates=len(candidates),
+        )
+        self.decisions.append(decision)
+        return chosen.endpoint
+
+    def _choose(self, model: str, candidates: List[FederatedEndpoint]):
+        raise NotImplementedError
+        yield  # pragma: no cover
+
+
+class PriorityRouter(FederationRouter):
+    """The paper's priority-based selection algorithm."""
+
+    policy_name = "priority"
+
+    def _choose(self, model: str, candidates: List[FederatedEndpoint]):
+        # Rule 1: model already running or queued somewhere.
+        for entry in candidates:
+            statuses = entry.endpoint.model_status(model)
+            if any(s.state in ("running", "starting", "queued") for s in statuses):
+                return entry, "active-instance"
+        # Rule 2: a cluster with available nodes.
+        for entry in candidates:
+            status = yield from entry.status_provider.query()
+            if status.free_nodes > 0:
+                return entry, "free-nodes"
+        # Rule 3: the first endpoint configured for the model.
+        return candidates[0], "first-configured"
+        yield  # pragma: no cover (keeps this a generator even without queries)
+
+
+class RandomRouter(FederationRouter):
+    """Ablation: uniformly random choice among configured endpoints."""
+
+    policy_name = "random"
+
+    def __init__(self, registry: FederationRegistry, seed: int = 11):
+        super().__init__(registry)
+        self._random = RandomSource(seed=seed)
+
+    def _choose(self, model: str, candidates: List[FederatedEndpoint]):
+        if False:  # pragma: no cover - keep generator form
+            yield None
+        return self._random.choice(candidates), "random"
+
+
+class FirstConfiguredRouter(FederationRouter):
+    """Ablation: always the first configured endpoint (no status awareness)."""
+
+    policy_name = "first-configured"
+
+    def _choose(self, model: str, candidates: List[FederatedEndpoint]):
+        if False:  # pragma: no cover - keep generator form
+            yield None
+        return candidates[0], "first-configured"

@@ -1,0 +1,31 @@
+"""The FIRST Inference Gateway: OpenAI-compatible API over the compute layer.
+
+Implements §3.1 of the paper: authentication/authorization with token
+caching, request validation, rate limiting, response caching, conversion of
+user requests into compute tasks, federated routing, result retrieval
+(futures or legacy polling), PostgreSQL-style logging, batch jobs, the
+``/jobs`` model-status endpoint and the metrics dashboard.
+"""
+
+from .app import InferenceGatewayAPI
+from .authlayer import GatewayAuthLayer
+from .cache import ResponseCache
+from .config import GatewayConfig, RetrievalMode, ServerMode
+from .database import BatchRecord, GatewayDatabase, RequestLogEntry
+from .metrics import GatewayMetrics, ModelUsage
+from .ratelimit import SlidingWindowRateLimiter
+
+__all__ = [
+    "InferenceGatewayAPI",
+    "GatewayConfig",
+    "ServerMode",
+    "RetrievalMode",
+    "GatewayAuthLayer",
+    "GatewayDatabase",
+    "RequestLogEntry",
+    "BatchRecord",
+    "GatewayMetrics",
+    "ModelUsage",
+    "SlidingWindowRateLimiter",
+    "ResponseCache",
+]

@@ -1,0 +1,397 @@
+"""The Inference Gateway API application.
+
+This is the OpenAI-compatible entry point of FIRST (§3.1): it validates the
+caller's Globus-Auth-like token, validates the request body, applies rate
+limits and optional response caching, converts the request into a
+Globus-Compute-like task, picks a federated endpoint, retrieves the result
+(via futures or legacy polling) and logs everything to the database.
+
+All request-handling methods are simulation processes (generators): drive
+them with ``env.process(...)`` or through the client SDK in
+:mod:`repro.core.client`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional
+
+from ..auth import GlobusAuthLikeService, TokenInfo
+from ..common import (
+    IdGenerator,
+    NotFoundError,
+    ValidationError,
+)
+from ..faas import HANDLER_BATCH, HANDLER_CHAT, HANDLER_EMBEDDING, ComputeClient
+from ..federation import FederationRouter
+from ..serving import (
+    InferenceRequest,
+    InferenceResult,
+    ModelCatalog,
+    RequestKind,
+    estimate_tokens,
+)
+from ..sim import Environment, Event, Resource
+from ..workload.batchfile import parse_batch_lines
+from .authlayer import GatewayAuthLayer
+from .cache import ResponseCache
+from .config import GatewayConfig, RetrievalMode, ServerMode
+from .database import BatchRecord, GatewayDatabase, RequestLogEntry
+from .metrics import GatewayMetrics
+from .ratelimit import SlidingWindowRateLimiter
+
+__all__ = ["InferenceGatewayAPI"]
+
+
+@dataclass
+class _RoutingCacheEntry:
+    endpoint_id: str
+    cached_at: float
+
+
+class InferenceGatewayAPI:
+    """The gateway application (Django-Ninja + Gunicorn/Uvicorn equivalent)."""
+
+    def __init__(
+        self,
+        env: Environment,
+        auth: GlobusAuthLikeService,
+        compute_client: ComputeClient,
+        router: FederationRouter,
+        catalog: ModelCatalog,
+        function_ids: Dict[str, str],
+        config: Optional[GatewayConfig] = None,
+        database: Optional[GatewayDatabase] = None,
+        ids: Optional[IdGenerator] = None,
+    ):
+        self.env = env
+        self.config = config or GatewayConfig()
+        self.auth_service = auth
+        self.compute_client = compute_client
+        self.router = router
+        self.catalog = catalog
+        self.function_ids = dict(function_ids)
+        self.db = database or GatewayDatabase()
+        self._ids = ids or IdGenerator()
+
+        self.auth_layer = GatewayAuthLayer(
+            env,
+            auth,
+            cache_enabled=self.config.cache_token_introspection,
+            cache_ttl_s=self.config.token_cache_ttl_s,
+            uncached_connection_setup_s=self.config.uncached_connection_setup_s,
+        )
+        self.rate_limiter = SlidingWindowRateLimiter(
+            self.config.rate_limit_requests, self.config.rate_limit_window_s
+        )
+        self.metrics = GatewayMetrics(env)
+        self.response_cache = (
+            ResponseCache(self.config.response_cache_ttl_s)
+            if self.config.enable_response_cache
+            else None
+        )
+        self.workers = Resource(env, capacity=self.config.worker_slots())
+        self._routing_cache: Dict[str, _RoutingCacheEntry] = {}
+
+    # ------------------------------------------------------------------ helpers
+    def _function_for(self, handler: str) -> str:
+        try:
+            return self.function_ids[handler]
+        except KeyError:
+            raise NotFoundError(f"No registered function for handler {handler!r}") from None
+
+    def _worker_slot(self, duration_s: float):
+        """Hold a worker slot for ``duration_s`` of CPU work (async mode)."""
+        with self.workers.request() as slot:
+            yield slot
+            if duration_s > 0:
+                yield self.env.timeout(duration_s)
+
+    def _route(self, model: str):
+        """Pick a federated endpoint for ``model`` (with a short-lived cache)."""
+        cached = self._routing_cache.get(model)
+        now = self.env.now
+        if cached is not None and now - cached.cached_at < self.config.routing_cache_ttl_s:
+            return self.router.registry.get(cached.endpoint_id).endpoint
+        endpoint = yield from self.router.select(model)
+        self._routing_cache[model] = _RoutingCacheEntry(endpoint.endpoint_id, now)
+        return endpoint
+
+    def _validate_model(self, model: Optional[str]) -> str:
+        if not model:
+            raise ValidationError("Request body is missing 'model'")
+        if model not in self.catalog:
+            raise ValidationError(f"Unknown model: {model}")
+        return self.catalog.get(model).name
+
+    # ------------------------------------------------------------- typed request path
+    def submit_request(self, access_token: str, request: InferenceRequest) -> Event:
+        """Submit a typed :class:`InferenceRequest`; returns an event with the
+        :class:`InferenceResult` (the benchmark client's target protocol)."""
+        done = self.env.event()
+        self.env.process(self._handle(access_token, request, done))
+        return done
+
+    def _handle(self, access_token: str, request: InferenceRequest, done: Event):
+        cfg = self.config
+        model_name = request.model
+        sync_slot = None
+        try:
+            model_name = self._validate_model(request.model)
+            request.model = model_name
+            if cfg.server_mode == ServerMode.SYNC_LEGACY:
+                # A synchronous worker blocks for the entire request.
+                sync_slot = self.workers.request()
+                yield sync_slot
+
+            # Ingress CPU work (parse/validate/convert).
+            if cfg.server_mode == ServerMode.ASYNC:
+                yield from self._worker_slot(cfg.ingress_processing_s)
+            else:
+                yield self.env.timeout(cfg.ingress_processing_s)
+
+            # Authentication + authorization (Optimization 2 path).
+            info = yield from self.auth_layer.authenticate(access_token)
+            self.auth_layer.authorize(info, f"model:{model_name}")
+            request.user = info.username
+            self.rate_limiter.check(info.username, self.env.now)
+
+            # Response cache.
+            cache_key = None
+            if self.response_cache is not None and request.kind != RequestKind.EMBEDDING:
+                cache_key = ResponseCache.key_for(
+                    model_name, request.prompt_text, request.max_output_tokens, request.params
+                )
+                cached = self.response_cache.get(cache_key, self.env.now)
+                if cached is not None:
+                    self.metrics.request_started(model_name, request.prompt_tokens)
+                    self.metrics.request_completed(model_name, cached.output_tokens, 0.0)
+                    self._finish(done, cached, sync_slot)
+                    return
+
+            # Bookkeeping.
+            self.metrics.request_started(model_name, request.prompt_tokens)
+            entry = RequestLogEntry(
+                request_id=request.request_id,
+                user=info.username,
+                model=model_name,
+                endpoint="",
+                kind=request.kind.value,
+                submitted_at=self.env.now,
+                prompt_tokens=request.prompt_tokens,
+            )
+            if cfg.db_write_s > 0:
+                yield self.env.timeout(cfg.db_write_s)
+            self.db.log_request(entry)
+
+            # Routing + dispatch to the compute layer.
+            endpoint = yield from self._route(model_name)
+            entry.endpoint = endpoint.endpoint_id
+            handler = (
+                HANDLER_EMBEDDING if request.kind == RequestKind.EMBEDDING else HANDLER_CHAT
+            )
+            future = self.compute_client.submit(
+                self._function_for(handler),
+                endpoint.endpoint_id,
+                {"request": request},
+                submitter=info.username,
+            )
+            if cfg.retrieval_mode == RetrievalMode.FUTURES:
+                result: InferenceResult = yield from self.compute_client.wait_future(future)
+            else:
+                result = yield from self.compute_client.wait_polling(future)
+
+            # Egress CPU work (serialise the response).
+            if cfg.server_mode == ServerMode.ASYNC:
+                yield from self._worker_slot(cfg.egress_processing_s)
+            else:
+                yield self.env.timeout(cfg.egress_processing_s)
+
+            latency = self.env.now - entry.submitted_at
+            self.db.complete_request(entry, result.output_tokens, self.env.now,
+                                     status="completed" if result.success else "failed",
+                                     error=result.error)
+            if result.success:
+                self.metrics.request_completed(model_name, result.output_tokens, latency)
+            else:
+                self.metrics.request_failed(model_name)
+            if cache_key is not None and result.success:
+                self.response_cache.put(cache_key, result, self.env.now)
+            self._finish(done, result, sync_slot)
+        except Exception as exc:  # noqa: BLE001 - surfaced to the caller
+            self._classify_failure(exc, model_name)
+            if sync_slot is not None:
+                self.workers.release(sync_slot)
+            if not done.triggered:
+                done.fail(exc)
+                done.defuse()
+
+    def _finish(self, done: Event, result: InferenceResult, sync_slot) -> None:
+        if sync_slot is not None:
+            self.workers.release(sync_slot)
+        if not done.triggered:
+            done.succeed(result)
+
+    def _classify_failure(self, exc: Exception, model: str) -> None:
+        from ..common import AuthenticationError, AuthorizationError, RateLimitError
+
+        if isinstance(exc, (AuthenticationError, AuthorizationError)):
+            self.metrics.auth_failures += 1
+        elif isinstance(exc, RateLimitError):
+            self.metrics.rate_limited += 1
+        elif isinstance(exc, ValidationError):
+            self.metrics.validation_failures += 1
+
+    # ------------------------------------------------------------- OpenAI-style endpoints
+    def chat_completions(self, access_token: str, body: dict):
+        """``POST /v1/chat/completions`` — returns the OpenAI response dict."""
+        request = self._request_from_body(body, RequestKind.CHAT_COMPLETION)
+        result = yield self.submit_request(access_token, request)
+        return result.to_openai_dict()
+
+    def completions(self, access_token: str, body: dict):
+        """``POST /v1/completions``."""
+        request = self._request_from_body(body, RequestKind.COMPLETION)
+        result = yield self.submit_request(access_token, request)
+        return result.to_openai_dict()
+
+    def embeddings(self, access_token: str, body: dict):
+        """``POST /v1/embeddings``."""
+        request = self._request_from_body(body, RequestKind.EMBEDDING)
+        result = yield self.submit_request(access_token, request)
+        return result.to_openai_dict()
+
+    def _request_from_body(self, body: dict, kind: RequestKind) -> InferenceRequest:
+        model = self._validate_model(body.get("model"))
+        if kind == RequestKind.CHAT_COMPLETION:
+            messages = body.get("messages")
+            if not messages:
+                raise ValidationError("chat completion requires 'messages'")
+            prompt_text = " ".join(str(m.get("content", "")) for m in messages)
+        elif kind == RequestKind.COMPLETION:
+            prompt_text = str(body.get("prompt", ""))
+            if not prompt_text:
+                raise ValidationError("completion requires 'prompt'")
+        else:
+            prompt_text = str(body.get("input", ""))
+            if not prompt_text:
+                raise ValidationError("embedding requires 'input'")
+        max_tokens = int(body.get("max_tokens", self.config.default_max_tokens))
+        if max_tokens <= 0 or max_tokens > self.config.max_allowed_output_tokens:
+            raise ValidationError(
+                f"max_tokens must be in (0, {self.config.max_allowed_output_tokens}]"
+            )
+        prompt_tokens = int(body.get("prompt_tokens_hint") or estimate_tokens(prompt_text))
+        params = {
+            k: body[k]
+            for k in ("temperature", "top_p", "frequency_penalty", "presence_penalty", "seed")
+            if k in body
+        }
+        return InferenceRequest(
+            request_id=body.get("request_id") or self._ids.next("gw-req"),
+            model=model,
+            prompt_tokens=prompt_tokens,
+            max_output_tokens=1 if kind == RequestKind.EMBEDDING else max_tokens,
+            kind=kind,
+            prompt_text=prompt_text,
+            params=params,
+            stream=bool(body.get("stream", False)),
+        )
+
+    # ------------------------------------------------------------- batches (§4.4)
+    def create_batch(self, access_token: str, input_jsonl: str,
+                     endpoint_id: Optional[str] = None):
+        """``POST /v1/batches`` — validate the JSONL input and launch a batch job."""
+        info = yield from self.auth_layer.authenticate(access_token)
+        requests = parse_batch_lines(input_jsonl, default_user=info.username)
+        models = {r.model for r in requests}
+        if len(models) != 1:
+            raise ValidationError("All requests in a batch must target the same model")
+        model = self._validate_model(next(iter(models)))
+        self.auth_layer.authorize(info, f"model:{model}")
+        for request in requests:
+            request.model = model
+            request.user = info.username
+
+        if endpoint_id is None:
+            endpoint = yield from self._route(model)
+        else:
+            endpoint = self.router.registry.get(endpoint_id).endpoint
+
+        record = BatchRecord(
+            batch_id=self._ids.next("batch"),
+            user=info.username,
+            model=model,
+            endpoint=endpoint.endpoint_id,
+            num_requests=len(requests),
+            status="in_progress",
+            created_at=self.env.now,
+        )
+        self.db.insert_batch(record)
+        future = self.compute_client.submit(
+            self._function_for(HANDLER_BATCH),
+            endpoint.endpoint_id,
+            {"model": model, "requests": requests},
+            submitter=info.username,
+        )
+        self.env.process(self._track_batch(record, future))
+        return record.to_dict()
+
+    def _track_batch(self, record: BatchRecord, future):
+        try:
+            run_result = yield from self.compute_client.wait_future(future)
+        except Exception as exc:  # noqa: BLE001
+            record.status = "failed"
+            record.error = str(exc)
+            record.completed_at = self.env.now
+            return
+        record.status = "completed"
+        record.completed_at = self.env.now
+        record.completed_requests = run_result.num_completed
+        record.failed_requests = record.num_requests - run_result.num_completed
+        record.output_tokens = run_result.total_output_tokens
+        record.results = run_result.results
+        user = self.db.upsert_user(record.user)
+        user["tokens"] += record.output_tokens
+
+    def get_batch(self, access_token: str, batch_id: str):
+        """``GET /v1/batches/{id}``."""
+        yield from self.auth_layer.authenticate(access_token)
+        record = self.db.get_batch(batch_id)
+        if record is None:
+            raise NotFoundError(f"Unknown batch id {batch_id}")
+        return record.to_dict()
+
+    # ------------------------------------------------------------- informational endpoints
+    def list_models(self) -> dict:
+        """``GET /v1/models`` — models hosted anywhere in the federation."""
+        models = self.router.registry.hosted_models()
+        return {
+            "object": "list",
+            "data": [{"id": m, "object": "model"} for m in sorted(models)],
+        }
+
+    def jobs(self) -> List[dict]:
+        """``GET /jobs`` — model/instance states across the federation (§4.3)."""
+        statuses = []
+        for entry in self.router.registry.entries:
+            for status in entry.endpoint.model_status():
+                statuses.append(status.to_dict())
+        return statuses
+
+    def dashboard(self) -> dict:
+        """``GET /metrics`` — real-time monitoring summary (§3.1.1)."""
+        extra = {
+            "database": self.db.usage_summary(),
+            "auth_cache": {
+                "hits": self.auth_layer.cache_hits,
+                "misses": self.auth_layer.cache_misses,
+            },
+            "queued_at_relay": self.compute_client.relay.queued_tasks,
+        }
+        if self.response_cache is not None:
+            extra["response_cache"] = {
+                "hits": self.response_cache.hits,
+                "misses": self.response_cache.misses,
+            }
+        return self.metrics.dashboard(extra=extra)

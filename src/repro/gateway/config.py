@@ -1,0 +1,90 @@
+"""Gateway configuration, including the three optimisation toggles of §5.3.1."""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+from typing import Optional
+
+__all__ = ["ServerMode", "RetrievalMode", "GatewayConfig"]
+
+
+class ServerMode(str, enum.Enum):
+    """How the API application handles concurrency.
+
+    ``ASYNC`` models the Django-Ninja + Gunicorn/Uvicorn deployment: workers
+    only hold CPU while parsing/validating/serialising, so thousands of
+    requests can be in flight.  ``SYNC_LEGACY`` models the original
+    synchronous Django REST deployment, where a worker blocks for the whole
+    request and "only nine requests could be processed at a time"
+    (Optimization 3).
+    """
+
+    ASYNC = "async"
+    SYNC_LEGACY = "sync-legacy"
+
+
+class RetrievalMode(str, enum.Enum):
+    """How results are retrieved from the compute layer (Optimization 1)."""
+
+    FUTURES = "futures"
+    POLLING = "polling"
+
+
+@dataclass
+class GatewayConfig:
+    """Behavioural and timing parameters of the Inference Gateway."""
+
+    # -- server concurrency model (Optimization 3) ---------------------------
+    server_mode: ServerMode = ServerMode.ASYNC
+    #: Gunicorn sizing from §5.2.2: cpu_count()*2 + 1 workers, 4 threads each.
+    cpu_count: int = 32
+    threads_per_worker: int = 4
+    #: Worker count for the legacy synchronous deployment.
+    sync_workers: int = 9
+
+    # -- per-request processing costs ------------------------------------------
+    #: CPU time to parse/validate/convert a request (paid on a worker slot).
+    ingress_processing_s: float = 0.05
+    #: CPU time to serialise/return the response.
+    egress_processing_s: float = 0.05
+    #: Database logging cost per request.
+    db_write_s: float = 0.005
+
+    # -- authentication (Optimization 2) -------------------------------------------
+    cache_token_introspection: bool = True
+    token_cache_ttl_s: float = 600.0
+    #: Extra per-request cost when introspection is NOT cached: a fresh
+    #: introspection round-trip plus re-establishing the compute-endpoint
+    #: connection ("eliminated 2 s from the latency of each request").
+    uncached_connection_setup_s: float = 1.5
+
+    # -- result retrieval (Optimization 1) --------------------------------------------
+    retrieval_mode: RetrievalMode = RetrievalMode.FUTURES
+
+    # -- protection ---------------------------------------------------------------------
+    #: Per-user request rate limit (requests per window); generous default.
+    rate_limit_requests: int = 100000
+    rate_limit_window_s: float = 60.0
+    #: Response cache for identical prompts (off by default).
+    enable_response_cache: bool = False
+    response_cache_ttl_s: float = 300.0
+
+    # -- routing -----------------------------------------------------------------------------
+    #: Cache a routing decision per model for this long (avoids re-querying
+    #: facility status for every request in a burst).
+    routing_cache_ttl_s: float = 30.0
+
+    # -- defaults for request validation ----------------------------------------------------------
+    max_allowed_output_tokens: int = 8192
+    default_max_tokens: int = 256
+
+    @property
+    def async_worker_slots(self) -> int:
+        """Concurrent in-flight requests the async deployment can process."""
+        return (self.cpu_count * 2 + 1) * self.threads_per_worker
+
+    def worker_slots(self) -> int:
+        if self.server_mode == ServerMode.ASYNC:
+            return self.async_worker_slots
+        return self.sync_workers

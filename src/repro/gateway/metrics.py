@@ -1,0 +1,115 @@
+"""Gateway-side metrics layer and dashboard (§3.1.1).
+
+"The metrics layer provides real-time monitoring of the compute resources
+and queue status. Performance and summary metrics are also exposed through a
+web dashboard."
+"""
+
+from __future__ import annotations
+
+from collections import defaultdict
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
+
+from ..sim import Environment
+
+__all__ = ["ModelUsage", "GatewayMetrics"]
+
+
+@dataclass
+class ModelUsage:
+    """Aggregated per-model counters."""
+
+    model: str
+    requests: int = 0
+    completed: int = 0
+    failed: int = 0
+    prompt_tokens: int = 0
+    output_tokens: int = 0
+    total_latency_s: float = 0.0
+
+    @property
+    def mean_latency_s(self) -> float:
+        return self.total_latency_s / self.completed if self.completed else 0.0
+
+    def to_dict(self) -> dict:
+        return {
+            "model": self.model,
+            "requests": self.requests,
+            "completed": self.completed,
+            "failed": self.failed,
+            "prompt_tokens": self.prompt_tokens,
+            "output_tokens": self.output_tokens,
+            "mean_latency_s": round(self.mean_latency_s, 3),
+        }
+
+
+class GatewayMetrics:
+    """In-process counters surfaced by the gateway's dashboard endpoint."""
+
+    def __init__(self, env: Environment):
+        self.env = env
+        self.started_at = env.now
+        self.per_model: Dict[str, ModelUsage] = {}
+        self.in_flight = 0
+        self.peak_in_flight = 0
+        self.auth_failures = 0
+        self.validation_failures = 0
+        self.rate_limited = 0
+
+    def _usage(self, model: str) -> ModelUsage:
+        if model not in self.per_model:
+            self.per_model[model] = ModelUsage(model=model)
+        return self.per_model[model]
+
+    # -- lifecycle hooks ---------------------------------------------------------
+    def request_started(self, model: str, prompt_tokens: int) -> None:
+        usage = self._usage(model)
+        usage.requests += 1
+        usage.prompt_tokens += prompt_tokens
+        self.in_flight += 1
+        self.peak_in_flight = max(self.peak_in_flight, self.in_flight)
+
+    def request_completed(self, model: str, output_tokens: int, latency_s: float) -> None:
+        usage = self._usage(model)
+        usage.completed += 1
+        usage.output_tokens += output_tokens
+        usage.total_latency_s += latency_s
+        self.in_flight = max(0, self.in_flight - 1)
+
+    def request_failed(self, model: str) -> None:
+        self._usage(model).failed += 1
+        self.in_flight = max(0, self.in_flight - 1)
+
+    # -- aggregates --------------------------------------------------------------
+    @property
+    def total_requests(self) -> int:
+        return sum(u.requests for u in self.per_model.values())
+
+    @property
+    def total_completed(self) -> int:
+        return sum(u.completed for u in self.per_model.values())
+
+    @property
+    def total_output_tokens(self) -> int:
+        return sum(u.output_tokens for u in self.per_model.values())
+
+    def dashboard(self, extra: Optional[dict] = None) -> dict:
+        """Summary dict in the spirit of the paper's monitoring dashboard."""
+        uptime = self.env.now - self.started_at
+        data = {
+            "uptime_s": uptime,
+            "total_requests": self.total_requests,
+            "total_completed": self.total_completed,
+            "total_output_tokens": self.total_output_tokens,
+            "in_flight": self.in_flight,
+            "peak_in_flight": self.peak_in_flight,
+            "auth_failures": self.auth_failures,
+            "validation_failures": self.validation_failures,
+            "rate_limited": self.rate_limited,
+            "models": [u.to_dict() for u in sorted(self.per_model.values(),
+                                                   key=lambda u: u.model)],
+        }
+        if extra:
+            data.update(extra)
+        return data

@@ -1,0 +1,12 @@
+"""Performance metrics used throughout the reproduction's evaluation."""
+
+from .collector import MetricsCollector, RequestRecord
+from .summary import BenchmarkSummary, percentile, summarize
+
+__all__ = [
+    "RequestRecord",
+    "MetricsCollector",
+    "BenchmarkSummary",
+    "summarize",
+    "percentile",
+]

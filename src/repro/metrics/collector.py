@@ -1,0 +1,64 @@
+"""Per-request records and the metrics collector."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
+
+__all__ = ["RequestRecord", "MetricsCollector"]
+
+
+@dataclass
+class RequestRecord:
+    """Client-side view of one request (what the benchmark tool measures)."""
+
+    request_id: str
+    model: str
+    send_time: float
+    completion_time: Optional[float] = None
+    prompt_tokens: int = 0
+    output_tokens: int = 0
+    success: bool = False
+    error: Optional[str] = None
+    first_token_time: Optional[float] = None
+    metadata: Dict = field(default_factory=dict)
+
+    @property
+    def latency_s(self) -> Optional[float]:
+        """End-to-end latency: send to complete response (the paper's metric)."""
+        if self.completion_time is None:
+            return None
+        return self.completion_time - self.send_time
+
+    @property
+    def time_to_first_token_s(self) -> Optional[float]:
+        if self.first_token_time is None:
+            return None
+        return self.first_token_time - self.send_time
+
+
+class MetricsCollector:
+    """Accumulates request records during a benchmark or service run."""
+
+    def __init__(self):
+        self.records: List[RequestRecord] = []
+
+    def record(self, record: RequestRecord) -> None:
+        self.records.append(record)
+
+    def extend(self, records: List[RequestRecord]) -> None:
+        self.records.extend(records)
+
+    @property
+    def successful(self) -> List[RequestRecord]:
+        return [r for r in self.records if r.success]
+
+    @property
+    def failed(self) -> List[RequestRecord]:
+        return [r for r in self.records if not r.success]
+
+    def __len__(self) -> int:
+        return len(self.records)
+
+    def clear(self) -> None:
+        self.records.clear()

@@ -1,0 +1,57 @@
+"""Document chunking for the RAG pipeline."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List
+
+from ..serving import estimate_tokens
+from .corpus import Document
+
+__all__ = ["Chunk", "chunk_document", "chunk_corpus"]
+
+
+@dataclass(frozen=True)
+class Chunk:
+    """A retrievable passage."""
+
+    chunk_id: str
+    doc_id: str
+    title: str
+    text: str
+
+    @property
+    def tokens(self) -> int:
+        return estimate_tokens(self.text)
+
+
+def chunk_document(document: Document, max_tokens: int = 64, overlap_words: int = 8) -> List[Chunk]:
+    """Split a document into overlapping word-window chunks of ≲ ``max_tokens``."""
+    if max_tokens <= 0:
+        raise ValueError("max_tokens must be > 0")
+    words = document.text.split()
+    window = max(8, int(max_tokens * 0.75))  # ~0.75 words per token
+    step = max(1, window - overlap_words)
+    chunks: List[Chunk] = []
+    for start in range(0, len(words), step):
+        piece = words[start:start + window]
+        if not piece:
+            break
+        chunks.append(
+            Chunk(
+                chunk_id=f"{document.doc_id}:{len(chunks)}",
+                doc_id=document.doc_id,
+                title=document.title,
+                text=" ".join(piece),
+            )
+        )
+        if start + window >= len(words):
+            break
+    return chunks
+
+
+def chunk_corpus(documents: List[Document], max_tokens: int = 64) -> List[Chunk]:
+    chunks: List[Chunk] = []
+    for doc in documents:
+        chunks.extend(chunk_document(doc, max_tokens=max_tokens))
+    return chunks

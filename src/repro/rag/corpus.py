@@ -1,0 +1,84 @@
+"""Synthetic HPC documentation corpus for the RAG case study (§6.2).
+
+The real deployment embedded "HPC manuals, guides, and troubleshooting
+documents"; this module ships a small, self-contained corpus with the same
+flavour so the retrieval pipeline can be exercised and tested offline.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List
+
+__all__ = ["Document", "hpc_documentation_corpus"]
+
+
+@dataclass(frozen=True)
+class Document:
+    """A documentation page."""
+
+    doc_id: str
+    title: str
+    text: str
+
+
+def hpc_documentation_corpus() -> List[Document]:
+    """A compact corpus of HPC-facility documentation pages."""
+    pages = [
+        ("jobs-pbs", "Submitting jobs with PBS",
+         "To submit a job use qsub with a job script. The script selects the queue, "
+         "the number of nodes with -l select, and the walltime with -l walltime. "
+         "Use qstat to inspect queued jobs and qdel to remove a job from the queue. "
+         "Interactive sessions are requested with qsub -I."),
+        ("jobs-arrays", "PBS job arrays",
+         "Job arrays submit many related tasks with a single qsub -J range command. "
+         "Each sub-job receives PBS_ARRAY_INDEX so the script can select its input. "
+         "Array jobs share the same resource request and walltime."),
+        ("gpu-nodes", "GPU node architecture",
+         "Each DGX A100 node provides eight A100 GPUs connected with NVLink and "
+         "two AMD Rome CPUs. GPU memory is 40 GB per device on most nodes and 80 GB "
+         "on the large-memory nodes. Use nvidia-smi to inspect utilization."),
+        ("storage", "Parallel file systems and local SSDs",
+         "Home directories are backed by NFS and have small quotas. Project data "
+         "belongs on the parallel Lustre file system. Each compute node also offers "
+         "a 15 TB local SSD scratch space that is purged when the job ends. Stripe "
+         "large files across OSTs for bandwidth."),
+        ("modules", "Environment modules",
+         "Software is provided through environment modules. Use module avail to list "
+         "packages, module load to activate one, and module purge to reset. Conda "
+         "environments should be built on the compute nodes to match the CPU arch."),
+        ("queues", "Queue policies and wait times",
+         "The production queue allows jobs up to 24 hours of walltime. The debug queue "
+         "is limited to two nodes and one hour but starts quickly. Backfill lets short "
+         "jobs run while large reservations wait, so accurate walltime estimates reduce "
+         "queue wait."),
+        ("containers", "Running containers",
+         "Apptainer (Singularity) images can be executed on compute nodes. Build images "
+         "on your workstation, copy the .sif file to the cluster, and bind-mount the "
+         "project file system. MPI applications require the matching network libraries "
+         "inside the image."),
+        ("inference", "Using the inference service",
+         "The facility inference service exposes an OpenAI-compatible API secured with "
+         "federated authentication. Request an access token, then call the chat "
+         "completions endpoint with your model of choice. Batch workloads should use "
+         "the batches endpoint to amortize model loading."),
+        ("mpi", "MPI and network tuning",
+         "Applications communicate over the InfiniBand fabric. Pin ranks to cores with "
+         "the launcher's binding options, and enable GPU-direct RDMA for GPU-resident "
+         "buffers. Collective performance depends on the fat-tree placement of nodes."),
+        ("troubleshooting", "Troubleshooting failed jobs",
+         "If a job exits immediately, check the error file for module or path problems. "
+         "Out-of-memory kills appear in the scheduler comment field. Nodes that fail "
+         "health checks are drained automatically; resubmit and the scheduler will "
+         "avoid them."),
+        ("accounts", "Accounts and allocations",
+         "Access requires an active project allocation. Core-hours are charged per "
+         "node-hour multiplied by the node type factor. Use the allocation dashboard "
+         "to monitor usage, and request additional time through the director's "
+         "discretionary program."),
+        ("data-transfer", "Moving data with Globus",
+         "Large datasets move between facilities with managed file transfer endpoints. "
+         "Authenticate with your institutional identity, pick the source and destination "
+         "collections, and the service retries failed chunks automatically."),
+    ]
+    return [Document(doc_id=d, title=t, text=x) for d, t, x in pages]

@@ -1,0 +1,111 @@
+"""Retrieval-Augmented Generation pipeline (the HPC assistant of §6.2).
+
+"NVIDIA's NV-Embed-v2 produced dense vector representations of HPC manuals,
+guides, and troubleshooting documents, which were stored in a FAISS index for
+rapid similarity search.  When a user poses a question, a RAG pipeline
+retrieves the most relevant passages and incorporates them into the prompt
+sent to the LLM."
+
+The pipeline uses a FIRST client for both halves: the ``/v1/embeddings``
+endpoint for vectors and ``/v1/chat/completions`` for the answer.  A
+``local_embeddings`` mode bypasses the service and featurises locally, which
+is convenient for unit tests.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Optional
+
+from ..serving import hash_embedding
+from .chunker import Chunk, chunk_corpus
+from .corpus import Document, hpc_documentation_corpus
+from .index import FlatIndex, SearchHit
+
+__all__ = ["RAGAnswer", "RAGPipeline"]
+
+
+@dataclass
+class RAGAnswer:
+    """Answer plus provenance."""
+
+    question: str
+    answer: str
+    retrieved: List[SearchHit] = field(default_factory=list)
+
+    @property
+    def sources(self) -> List[str]:
+        return [hit.metadata.title for hit in self.retrieved]
+
+
+class RAGPipeline:
+    """Embed a corpus, retrieve relevant chunks, and answer with an LLM."""
+
+    def __init__(
+        self,
+        client=None,
+        embedding_model: str = "nvidia/NV-Embed-v2",
+        chat_model: str = "Qwen/Qwen2.5-7B-Instruct",
+        embedding_dim: int = 384,
+        top_k: int = 3,
+        local_embeddings: bool = False,
+    ):
+        self.client = client
+        self.embedding_model = embedding_model
+        self.chat_model = chat_model
+        self.embedding_dim = embedding_dim
+        self.top_k = top_k
+        self.local_embeddings = local_embeddings or client is None
+        self.index = FlatIndex(dim=self._dim())
+        self.chunks: List[Chunk] = []
+
+    def _dim(self) -> int:
+        if self.local_embeddings or self.client is None:
+            return self.embedding_dim
+        return self.client.deployment.catalog.get(self.embedding_model).embedding_dim
+
+    # -- embedding ------------------------------------------------------------------
+    def _embed(self, text: str) -> List[float]:
+        if self.local_embeddings:
+            return hash_embedding(text, self._dim()).tolist()
+        response = self.client.embedding(self.embedding_model, text)
+        return response["data"][0]["embedding"]
+
+    # -- ingestion ---------------------------------------------------------------------
+    def ingest(self, documents: Optional[List[Document]] = None, chunk_tokens: int = 64) -> int:
+        """Chunk and index a corpus; returns the number of chunks indexed."""
+        documents = documents if documents is not None else hpc_documentation_corpus()
+        chunks = chunk_corpus(documents, max_tokens=chunk_tokens)
+        vectors = [self._embed(f"{c.title}. {c.text}") for c in chunks]
+        self.index.add(vectors, chunks)
+        self.chunks.extend(chunks)
+        return len(chunks)
+
+    # -- retrieval + generation ------------------------------------------------------------
+    def retrieve(self, question: str, k: Optional[int] = None) -> List[SearchHit]:
+        return self.index.search(self._embed(question), k=k or self.top_k)
+
+    def build_prompt(self, question: str, hits: List[SearchHit]) -> str:
+        context = "\n\n".join(
+            f"[{i + 1}] {hit.metadata.title}: {hit.metadata.text}" for i, hit in enumerate(hits)
+        )
+        return (
+            "You are an assistant for a high-performance computing facility. "
+            "Use the following documentation excerpts to answer the question.\n\n"
+            f"{context}\n\nQuestion: {question}\nAnswer:"
+        )
+
+    def answer(self, question: str, max_tokens: int = 200) -> RAGAnswer:
+        """Full RAG round trip (blocking when backed by a FIRST client)."""
+        hits = self.retrieve(question)
+        prompt = self.build_prompt(question, hits)
+        if self.client is None:
+            text = "Relevant documentation: " + "; ".join(h.metadata.title for h in hits)
+        else:
+            response = self.client.chat_completion(
+                self.chat_model,
+                [{"role": "user", "content": prompt}],
+                max_tokens=max_tokens,
+            )
+            text = response["choices"][0]["message"]["content"]
+        return RAGAnswer(question=question, answer=text, retrieved=hits)

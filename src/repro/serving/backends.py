@@ -1,0 +1,66 @@
+"""Serving-backend registry.
+
+FIRST is backend agnostic: "Our architecture can readily integrate with any
+of the inference frameworks discussed in Section 2.2 (e.g., TensorRT-LLM,
+TGI, SGLang), provided they expose an OpenAI-compatible API" (§4.1).  Each
+backend here maps to a relative throughput factor applied by the timing
+model, plus capability flags used when a deployment validates its
+configuration.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict
+
+__all__ = ["BackendSpec", "BACKENDS", "get_backend", "register_backend"]
+
+
+@dataclass(frozen=True)
+class BackendSpec:
+    """A serving framework supported by the deployment."""
+
+    name: str
+    #: Relative generation throughput vs vLLM (1.0).  The paper cites SGLang
+    #: at up to 3.1x on selected models and TensorRT-LLM around 4x vanilla
+    #: PyTorch; we keep conservative middle-ground factors.
+    throughput_factor: float = 1.0
+    supports_generation: bool = True
+    supports_embeddings: bool = False
+    description: str = ""
+
+
+BACKENDS: Dict[str, BackendSpec] = {}
+
+
+def register_backend(spec: BackendSpec) -> None:
+    """Register (or replace) a backend."""
+    BACKENDS[spec.name] = spec
+
+
+def get_backend(name: str) -> BackendSpec:
+    try:
+        return BACKENDS[name.lower()]
+    except KeyError:
+        raise KeyError(
+            f"Unknown serving backend {name!r}; known backends: {sorted(BACKENDS)}"
+        ) from None
+
+
+for _spec in [
+    BackendSpec("vllm", throughput_factor=1.0, supports_generation=True,
+                supports_embeddings=False,
+                description="PagedAttention + continuous batching (paper's primary backend)"),
+    BackendSpec("sglang", throughput_factor=1.6, supports_generation=True,
+                description="RadixAttention; faster on structured/prefix-heavy workloads"),
+    BackendSpec("tgi", throughput_factor=0.85, supports_generation=True,
+                description="HuggingFace Text Generation Inference"),
+    BackendSpec("tensorrt-llm", throughput_factor=1.4, supports_generation=True,
+                description="NVIDIA TensorRT-LLM (NVIDIA GPUs only)"),
+    BackendSpec("infinity", throughput_factor=1.0, supports_generation=False,
+                supports_embeddings=True,
+                description="Embedding server (FlashAttention-2 based)"),
+    BackendSpec("llama.cpp", throughput_factor=0.25, supports_generation=True,
+                description="8-bit quantised CPU/commodity serving"),
+]:
+    register_backend(_spec)

@@ -1,0 +1,295 @@
+"""Continuous-batching inference engine (the vLLM-like core).
+
+The engine advances in *iterations*: each iteration generates one token for
+every running sequence and (optionally) prefills newly admitted sequences.
+Iteration duration comes from the :class:`~repro.serving.timing.PerformanceModel`,
+so aggregate throughput saturates with batch size exactly as described in the
+paper's evaluation.  Admission is bounded by ``max_num_seqs`` and by the
+paged KV cache (:class:`~repro.serving.kvcache.KVCacheManager`).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
+
+from ..sim import Environment, Event
+from .kvcache import KVCacheConfig, KVCacheManager
+from .request import InferenceRequest, InferenceResult, RequestKind
+from .textgen import SyntheticTextGenerator
+from .timing import PerformanceModel
+
+__all__ = ["EngineConfig", "EngineStats", "ContinuousBatchingEngine"]
+
+
+@dataclass
+class EngineConfig:
+    """Engine scheduling limits (vLLM-style)."""
+
+    max_num_seqs: int = 256
+    #: Cap on prompt tokens prefetched in a single iteration (chunked prefill).
+    max_prefill_tokens_per_step: int = 16384
+    kv_block_size: int = 16
+    vram_utilization: float = 0.9
+    #: Generate actual response text (slower, used by examples; benchmarks
+    #: usually disable it).
+    generate_text: bool = True
+
+
+@dataclass
+class EngineStats:
+    """Cumulative engine counters."""
+
+    submitted: int = 0
+    completed: int = 0
+    failed: int = 0
+    preempted: int = 0
+    output_tokens: int = 0
+    prompt_tokens: int = 0
+    busy_time_s: float = 0.0
+    peak_batch_size: int = 0
+
+    def snapshot(self) -> dict:
+        return {
+            "submitted": self.submitted,
+            "completed": self.completed,
+            "failed": self.failed,
+            "preempted": self.preempted,
+            "output_tokens": self.output_tokens,
+            "prompt_tokens": self.prompt_tokens,
+            "busy_time_s": self.busy_time_s,
+            "peak_batch_size": self.peak_batch_size,
+        }
+
+
+class _Sequence:
+    """Internal per-request state."""
+
+    __slots__ = (
+        "request",
+        "event",
+        "generated",
+        "enqueue_time",
+        "admit_time",
+        "first_token_time",
+        "prefilled",
+    )
+
+    def __init__(self, request: InferenceRequest, event: Event, enqueue_time: float):
+        self.request = request
+        self.event = event
+        self.generated = 0
+        self.enqueue_time = enqueue_time
+        self.admit_time: Optional[float] = None
+        self.first_token_time: Optional[float] = None
+        self.prefilled = False
+
+    @property
+    def seq_id(self) -> str:
+        return self.request.request_id
+
+    @property
+    def target_tokens(self) -> int:
+        return max(1, self.request.max_output_tokens)
+
+    @property
+    def total_tokens(self) -> int:
+        return self.request.prompt_tokens + self.generated
+
+
+class ContinuousBatchingEngine:
+    """A continuous-batching LLM engine bound to a fixed GPU allocation."""
+
+    def __init__(
+        self,
+        env: Environment,
+        perf: PerformanceModel,
+        config: Optional[EngineConfig] = None,
+        instance_id: str = "instance-0",
+        cluster: str = "",
+        text_generator: Optional[SyntheticTextGenerator] = None,
+    ):
+        self.env = env
+        self.perf = perf
+        self.config = config or EngineConfig()
+        self.instance_id = instance_id
+        self.cluster = cluster
+        self.text_generator = text_generator or SyntheticTextGenerator()
+        self.kv = KVCacheManager(
+            KVCacheConfig(
+                capacity_tokens=perf.kv_capacity_tokens(self.config.vram_utilization),
+                block_size=self.config.kv_block_size,
+            )
+        )
+        self.stats = EngineStats()
+        self.waiting: List[_Sequence] = []
+        self.running: List[_Sequence] = []
+        self._idle: Optional[Event] = None
+        self._stopped = False
+        self._loop = env.process(self._run())
+
+    # -- public API ----------------------------------------------------------
+    def submit(self, request: InferenceRequest) -> Event:
+        """Queue a request; the returned event succeeds with an :class:`InferenceResult`."""
+        if self._stopped:
+            raise RuntimeError("Engine has been stopped")
+        event = self.env.event()
+        seq = _Sequence(request, event, self.env.now)
+        self.waiting.append(seq)
+        self.stats.submitted += 1
+        self.stats.prompt_tokens += request.prompt_tokens
+        self._notify()
+        return event
+
+    def stop(self) -> None:
+        """Stop accepting requests and fail anything still queued or running."""
+        self._stopped = True
+        for seq in self.waiting + self.running:
+            if not seq.event.triggered:
+                seq.event.succeed(self._make_result(seq, success=False,
+                                                    error="engine stopped"))
+            self.kv.free(seq.seq_id)
+        self.waiting.clear()
+        self.running.clear()
+        self.stats.failed += 0
+        self._notify()
+
+    @property
+    def current_batch_size(self) -> int:
+        return len(self.running)
+
+    @property
+    def queue_depth(self) -> int:
+        return len(self.waiting)
+
+    @property
+    def in_flight(self) -> int:
+        return len(self.waiting) + len(self.running)
+
+    @property
+    def is_idle(self) -> bool:
+        return not self.waiting and not self.running
+
+    # -- engine loop -----------------------------------------------------------
+    def _notify(self) -> None:
+        if self._idle is not None and not self._idle.triggered:
+            self._idle.succeed()
+
+    def _run(self):
+        env = self.env
+        while True:
+            if self._stopped and self.is_idle:
+                # Park forever; a stopped engine never wakes up again.
+                self._idle = env.event()
+                yield self._idle
+                continue
+            if self.is_idle:
+                self._idle = env.event()
+                yield self._idle
+                self._idle = None
+                continue
+
+            prefill_tokens = self._admit()
+            batch = len(self.running)
+            if batch == 0:
+                # Nothing admitted (e.g. KV exhausted with nothing running);
+                # this should not normally happen, but avoid a busy loop.
+                self._idle = env.event()
+                yield self._idle
+                self._idle = None
+                continue
+
+            self.stats.peak_batch_size = max(self.stats.peak_batch_size, batch)
+            step = self.perf.decode_step_time_s(batch)
+            if prefill_tokens:
+                step += prefill_tokens / self.perf.prefill_tok_s
+            yield env.timeout(step)
+            self.stats.busy_time_s += step
+            self._advance()
+
+    def _admit(self) -> int:
+        """Move sequences from waiting to running; returns prefill tokens added."""
+        prefill_tokens = 0
+        while (
+            self.waiting
+            and len(self.running) < self.config.max_num_seqs
+            and prefill_tokens < self.config.max_prefill_tokens_per_step
+        ):
+            seq = self.waiting[0]
+            reserve = seq.request.prompt_tokens + self.config.kv_block_size
+            if not self.kv.allocate(seq.seq_id, reserve):
+                break
+            self.waiting.pop(0)
+            seq.admit_time = self.env.now
+            seq.prefilled = True
+            prefill_tokens += seq.request.prompt_tokens
+            self.running.append(seq)
+        return prefill_tokens
+
+    def _advance(self) -> None:
+        """One token generated for every running sequence."""
+        now = self.env.now
+        finished: List[_Sequence] = []
+        for seq in list(self.running):
+            if seq not in self.running:
+                # Preempted earlier in this same iteration by another
+                # sequence's KV growth; it will be re-prefilled later.
+                continue
+            seq.generated += 1
+            self.stats.output_tokens += 1
+            if seq.first_token_time is None:
+                seq.first_token_time = now
+            if seq.generated >= seq.target_tokens:
+                finished.append(seq)
+                continue
+            if not self.kv.grow(seq.seq_id, seq.total_tokens + 1):
+                self._handle_kv_pressure(seq)
+        for seq in finished:
+            self.running.remove(seq)
+            self.kv.free(seq.seq_id)
+            self.stats.completed += 1
+            seq.event.succeed(self._make_result(seq, success=True))
+
+    def _handle_kv_pressure(self, needy: _Sequence) -> None:
+        """Preempt the most recently admitted other sequence to free blocks."""
+        victims = [s for s in reversed(self.running) if s is not needy]
+        if not victims:
+            # Nothing to preempt: fail the sequence (it cannot make progress).
+            self.running.remove(needy)
+            self.kv.free(needy.seq_id)
+            self.stats.failed += 1
+            needy.event.succeed(self._make_result(needy, success=False,
+                                                  error="KV cache exhausted"))
+            return
+        victim = victims[0]
+        self.running.remove(victim)
+        self.kv.preempt(victim.seq_id)
+        self.stats.preempted += 1
+        # The victim restarts from scratch (recompute preemption).
+        victim.generated = 0
+        victim.prefilled = False
+        victim.admit_time = None
+        self.waiting.insert(0, victim)
+
+    def _make_result(self, seq: _Sequence, success: bool, error: Optional[str] = None) -> InferenceResult:
+        request = seq.request
+        text = ""
+        if success and self.config.generate_text and request.kind != RequestKind.EMBEDDING:
+            text = self.text_generator.generate(request, seq.generated)
+        return InferenceResult(
+            request_id=request.request_id,
+            model=request.model,
+            prompt_tokens=request.prompt_tokens,
+            output_tokens=seq.generated,
+            text=text,
+            success=success,
+            error=error,
+            arrival_time=request.arrival_time,
+            engine_enqueue_time=seq.enqueue_time,
+            prefill_start_time=seq.admit_time if seq.admit_time is not None else seq.enqueue_time,
+            first_token_time=seq.first_token_time or 0.0,
+            completion_time=self.env.now,
+            instance_id=self.instance_id,
+            cluster=self.cluster,
+            metadata=dict(request.metadata),
+        )

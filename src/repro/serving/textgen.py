@@ -1,0 +1,55 @@
+"""Synthetic response text generation.
+
+The reproduction does not run a neural network, but examples and the web UI
+still need human-readable responses.  :class:`SyntheticTextGenerator`
+produces deterministic, science-flavoured filler text with roughly 0.75
+words per token (a common English tokenisation ratio), seeded by the request
+id so repeated runs are stable.
+"""
+
+from __future__ import annotations
+
+import hashlib
+from typing import List, Optional
+
+from .request import InferenceRequest
+
+__all__ = ["SyntheticTextGenerator", "estimate_tokens"]
+
+_VOCABULARY: List[str] = (
+    "the of a to in analysis model data simulation results suggest that"
+    " particle climate genomic sequence observed parameters scaling"
+    " throughput latency inference cluster node GPU memory bandwidth"
+    " experiment measurement uncertainty distribution correlation gradient"
+    " optimization converges baseline comparison significant improvement"
+    " workload scheduler queue allocation federation endpoint token"
+).split()
+
+_WORDS_PER_TOKEN = 0.75
+
+
+def estimate_tokens(text: str) -> int:
+    """Rough token count for a piece of text (≈ words / 0.75, min 1)."""
+    words = len(text.split())
+    return max(1, int(round(words / _WORDS_PER_TOKEN)))
+
+
+class SyntheticTextGenerator:
+    """Deterministic filler-text generator."""
+
+    def __init__(self, vocabulary: Optional[List[str]] = None):
+        self.vocabulary = vocabulary or _VOCABULARY
+
+    def generate(self, request: InferenceRequest, output_tokens: int) -> str:
+        """Produce ``output_tokens`` tokens of text for ``request``."""
+        n_words = max(1, int(output_tokens * _WORDS_PER_TOKEN))
+        seed_material = f"{request.request_id}:{request.model}:{request.prompt_text[:64]}"
+        digest = hashlib.sha256(seed_material.encode()).digest()
+        words = []
+        vocab = self.vocabulary
+        state = int.from_bytes(digest[:8], "little")
+        for i in range(n_words):
+            state = (state * 6364136223846793005 + 1442695040888963407) & 0xFFFFFFFFFFFFFFFF
+            words.append(vocab[state % len(vocab)])
+        prefix = f"[{request.model}] "
+        return prefix + " ".join(words)

@@ -1,0 +1,150 @@
+"""The discrete-event simulation environment (clock + event queue)."""
+
+from __future__ import annotations
+
+import heapq
+from itertools import count
+from typing import Any, Generator, Iterable, List, Optional, Tuple
+
+from .events import (
+    NORMAL,
+    AllOf,
+    AnyOf,
+    Event,
+    Process,
+    Timeout,
+)
+
+__all__ = ["Environment", "EmptySchedule", "StopSimulation"]
+
+
+class EmptySchedule(Exception):
+    """Raised by :meth:`Environment.step` when no more events are queued."""
+
+
+class StopSimulation(Exception):
+    """Internal exception used to stop :meth:`Environment.run` at an event."""
+
+    @classmethod
+    def callback(cls, event: Event) -> None:
+        if event._ok:
+            raise cls(event._value)
+        raise event._value
+
+
+class Environment:
+    """Execution environment for a discrete-event simulation.
+
+    Time is a float in seconds.  Events are processed in order of
+    ``(time, priority, insertion order)`` which makes runs fully
+    deterministic for a fixed seed.
+    """
+
+    def __init__(self, initial_time: float = 0.0):
+        self._now = float(initial_time)
+        self._queue: List[Tuple[float, int, int, Event]] = []
+        self._eid = count()
+        self._active_proc: Optional[Process] = None
+
+    # -- properties ------------------------------------------------------
+    @property
+    def now(self) -> float:
+        """Current simulated time in seconds."""
+        return self._now
+
+    @property
+    def active_process(self) -> Optional[Process]:
+        """The process currently being resumed, if any."""
+        return self._active_proc
+
+    @property
+    def queue_size(self) -> int:
+        """Number of events currently scheduled."""
+        return len(self._queue)
+
+    # -- event creation --------------------------------------------------
+    def event(self) -> Event:
+        """Create a new, untriggered :class:`Event`."""
+        return Event(self)
+
+    def timeout(self, delay: float, value: Any = None) -> Timeout:
+        """Create a :class:`Timeout` that fires after ``delay`` seconds."""
+        return Timeout(self, delay, value)
+
+    def process(self, generator: Generator) -> Process:
+        """Start a new :class:`Process` from a generator."""
+        return Process(self, generator)
+
+    def all_of(self, events: Iterable[Event]) -> AllOf:
+        """Event that triggers when all ``events`` have triggered."""
+        return AllOf(self, events)
+
+    def any_of(self, events: Iterable[Event]) -> AnyOf:
+        """Event that triggers when any of ``events`` has triggered."""
+        return AnyOf(self, events)
+
+    # -- scheduling ------------------------------------------------------
+    def schedule(self, event: Event, delay: float = 0.0, priority: int = NORMAL) -> None:
+        """Schedule ``event`` to be processed after ``delay`` seconds."""
+        heapq.heappush(self._queue, (self._now + delay, priority, next(self._eid), event))
+
+    def peek(self) -> float:
+        """Time of the next scheduled event, or ``inf`` if none."""
+        return self._queue[0][0] if self._queue else float("inf")
+
+    def step(self) -> None:
+        """Process the next scheduled event.
+
+        Raises :class:`EmptySchedule` if no events remain.
+        """
+        try:
+            self._now, _, _, event = heapq.heappop(self._queue)
+        except IndexError:
+            raise EmptySchedule() from None
+
+        callbacks, event.callbacks = event.callbacks, None
+        if callbacks is None:
+            # Event was already processed (can happen when an event is both
+            # interrupted and scheduled); nothing to do.
+            return
+        for callback in callbacks:
+            callback(event)
+
+        if not event._ok and not event._defused:
+            # An unhandled failed event aborts the simulation.
+            raise event._value
+
+    def run(self, until: Any = None) -> Any:
+        """Run the simulation.
+
+        ``until`` may be ``None`` (run until no events remain), a number
+        (run until that simulated time) or an :class:`Event` (run until the
+        event triggers; its value is returned).
+        """
+        if until is not None and not isinstance(until, Event):
+            at = float(until)
+            if at <= self._now:
+                raise ValueError(
+                    f"until (={at}) must be greater than the current time ({self._now})"
+                )
+            until = Event(self)
+            until._ok = True
+            until._value = None
+            self.schedule(until, delay=at - self._now, priority=NORMAL)
+
+        if until is not None:
+            if until.callbacks is None:
+                return until._value if until._ok else None
+            until.callbacks.append(StopSimulation.callback)
+
+        try:
+            while True:
+                self.step()
+        except StopSimulation as exc:
+            return exc.args[0] if exc.args else None
+        except EmptySchedule:
+            if until is not None and not until.triggered:
+                raise RuntimeError(
+                    f"No scheduled events left but \"until\" event was not triggered: {until!r}"
+                ) from None
+        return None

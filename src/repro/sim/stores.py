@@ -1,0 +1,170 @@
+"""Store primitives: FIFO, filtered and priority item queues.
+
+Stores model message queues in the reproduction: the Globus-Compute-like
+relay's task queue, per-endpoint work queues, the gateway's request backlog,
+and the batch-job queues.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable, List, Optional
+
+from .events import Event
+
+__all__ = ["StorePut", "StoreGet", "Store", "FilterStore", "PriorityItem", "PriorityStore"]
+
+
+class StorePut(Event):
+    """Event for putting an item into a :class:`Store`."""
+
+    def __init__(self, store: "Store", item: Any):
+        super().__init__(store._env)
+        self.item = item
+        store._put_queue.append(self)
+        store._trigger()
+
+
+class StoreGet(Event):
+    """Event for taking an item out of a :class:`Store`."""
+
+    def __init__(self, store: "Store"):
+        super().__init__(store._env)
+        store._get_queue.append(self)
+        store._trigger()
+
+
+class Store:
+    """A FIFO store of arbitrary items with optional bounded capacity."""
+
+    def __init__(self, env, capacity: float = float("inf")):
+        if capacity <= 0:
+            raise ValueError("capacity must be > 0")
+        self._env = env
+        self._capacity = capacity
+        self.items: List[Any] = []
+        self._put_queue: List[StorePut] = []
+        self._get_queue: List[StoreGet] = []
+
+    @property
+    def env(self):
+        return self._env
+
+    @property
+    def capacity(self) -> float:
+        return self._capacity
+
+    def __len__(self) -> int:
+        return len(self.items)
+
+    def put(self, item: Any) -> StorePut:
+        """Put ``item`` into the store (waits if the store is full)."""
+        return StorePut(self, item)
+
+    def get(self) -> StoreGet:
+        """Take the next item out of the store (waits if empty)."""
+        return StoreGet(self)
+
+    # -- internals -------------------------------------------------------
+    def _do_put(self, event: StorePut) -> bool:
+        if len(self.items) < self._capacity:
+            self.items.append(event.item)
+            event.succeed()
+            return True
+        return False
+
+    def _do_get(self, event: StoreGet) -> bool:
+        if self.items:
+            event.succeed(self.items.pop(0))
+            return True
+        return False
+
+    def _trigger(self) -> None:
+        progressed = True
+        while progressed:
+            progressed = False
+            idx = 0
+            while idx < len(self._put_queue):
+                event = self._put_queue[idx]
+                if self._do_put(event):
+                    self._put_queue.pop(idx)
+                    progressed = True
+                else:
+                    idx += 1
+                    break
+            idx = 0
+            while idx < len(self._get_queue):
+                event = self._get_queue[idx]
+                if self._do_get(event):
+                    self._get_queue.pop(idx)
+                    progressed = True
+                else:
+                    idx += 1
+                    if not isinstance(self, FilterStore):
+                        break
+
+
+class FilterStoreGet(StoreGet):
+    """Get event that only matches items satisfying a filter function."""
+
+    def __init__(self, store: "FilterStore", filter: Callable[[Any], bool]):
+        self.filter = filter
+        super().__init__(store)
+
+
+class FilterStore(Store):
+    """A store whose consumers can request items matching a predicate."""
+
+    def get(self, filter: Callable[[Any], bool] = lambda item: True) -> FilterStoreGet:  # type: ignore[override]
+        return FilterStoreGet(self, filter)
+
+    def _do_get(self, event: StoreGet) -> bool:
+        filt = getattr(event, "filter", lambda item: True)
+        for i, item in enumerate(self.items):
+            if filt(item):
+                self.items.pop(i)
+                event.succeed(item)
+                return True
+        return False
+
+
+class PriorityItem:
+    """Wrapper pairing an item with a priority (lower = served first)."""
+
+    __slots__ = ("priority", "item")
+
+    def __init__(self, priority: float, item: Any):
+        self.priority = priority
+        self.item = item
+
+    def __lt__(self, other: "PriorityItem") -> bool:
+        return self.priority < other.priority
+
+    def __eq__(self, other: Any) -> bool:
+        return (
+            isinstance(other, PriorityItem)
+            and self.priority == other.priority
+            and self.item == other.item
+        )
+
+    def __repr__(self) -> str:
+        return f"PriorityItem(priority={self.priority!r}, item={self.item!r})"
+
+
+class PriorityStore(Store):
+    """A store that always yields the lowest-priority-value item first."""
+
+    def _do_put(self, event: StorePut) -> bool:
+        if len(self.items) < self._capacity:
+            item = event.item
+            # Insert keeping the list sorted (stable for equal priorities).
+            lo, hi = 0, len(self.items)
+            while lo < hi:
+                mid = (lo + hi) // 2
+                if item < self.items[mid]:
+                    hi = mid
+                else:
+                    lo = mid + 1
+            self.items.insert(lo, item)
+            event.succeed()
+            return True
+        return False

@@ -1,0 +1,15 @@
+"""Web chat interface (Open-WebUI-like) and its concurrency benchmark (§4.7, Table 1)."""
+
+from .benchmark import WebUIBenchResult, WebUIConcurrencyBenchmark
+from .server import WebUIConfig, WebUIServer
+from .sessions import ChatMessage, ChatSession, SessionStore
+
+__all__ = [
+    "ChatMessage",
+    "ChatSession",
+    "SessionStore",
+    "WebUIServer",
+    "WebUIConfig",
+    "WebUIBenchResult",
+    "WebUIConcurrencyBenchmark",
+]

@@ -1,0 +1,133 @@
+"""The web chat interface backend (§4.7).
+
+A FastAPI-behind-Nginx service in the real deployment; here, a thin layer
+that authenticates the user through the same Globus-Auth-like flow, persists
+chat sessions, lets users pick among *running* models, supports multi-model
+comparison, and forwards every turn (full history included) to the Inference
+Gateway.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional
+
+from ..common import IdGenerator, NotFoundError, ValidationError
+from ..core.client import FIRSTClient
+from ..serving import InferenceRequest, RequestKind
+from ..sim import Environment, Event
+from .sessions import ChatSession, SessionStore
+
+__all__ = ["WebUIConfig", "WebUIServer"]
+
+
+@dataclass
+class WebUIConfig:
+    """Behaviour of the WebUI backend."""
+
+    #: Extra per-turn processing in the WebUI backend (render, persist, stream).
+    backend_overhead_s: float = 0.08
+    #: Default generation length of a chat turn.
+    default_turn_output_tokens: int = 150
+    system_prompt_tokens: int = 30
+
+
+class WebUIServer:
+    """Chat front-end bound to one FIRST deployment."""
+
+    def __init__(self, deployment, config: Optional[WebUIConfig] = None):
+        self.deployment = deployment
+        self.env: Environment = deployment.env
+        self.config = config or WebUIConfig()
+        self.sessions = SessionStore()
+        self._ids = IdGenerator()
+        self._clients: Dict[str, FIRSTClient] = {}
+        self.turns_served = 0
+
+    # -- authentication / model listing ---------------------------------------------
+    def _client_for(self, user: str) -> FIRSTClient:
+        if user not in self._clients:
+            self._clients[user] = self.deployment.client(user)
+        return self._clients[user]
+
+    def available_models(self) -> List[str]:
+        """Models currently *running* (the dropdown menu only shows hot models)."""
+        return sorted(
+            {j["model"] for j in self.deployment.gateway.jobs() if j["state"] == "running"}
+        )
+
+    def all_models(self) -> List[str]:
+        return sorted(m["id"] for m in self.deployment.gateway.list_models()["data"])
+
+    # -- session management ---------------------------------------------------------------
+    def new_session(self, user: str, model: str) -> ChatSession:
+        if model not in self.all_models():
+            raise ValidationError(f"Model {model} is not hosted by the service")
+        session = self.sessions.create(
+            self._ids.next("session"), user=user, model=model, created_at=self.env.now
+        )
+        session.system_prompt_tokens = self.config.system_prompt_tokens
+        return session
+
+    # -- chat turns --------------------------------------------------------------------------
+    def chat_turn(self, session_id: str, user_message: str,
+                  output_tokens: Optional[int] = None,
+                  user_message_tokens: Optional[int] = None) -> Event:
+        """Send one chat turn; returns an event with the assistant's reply text."""
+        done = self.env.event()
+        self.env.process(self._chat_turn(session_id, user_message, output_tokens,
+                                         user_message_tokens, done))
+        return done
+
+    def chat_turn_blocking(self, session_id: str, user_message: str,
+                           output_tokens: Optional[int] = None) -> str:
+        ev = self.chat_turn(session_id, user_message, output_tokens)
+        return self.env.run(until=ev)
+
+    def _chat_turn(self, session_id: str, user_message: str,
+                   output_tokens: Optional[int], user_message_tokens: Optional[int],
+                   done: Event):
+        try:
+            session = self.sessions.get(session_id)
+        except KeyError as exc:
+            done.fail(NotFoundError(str(exc)))
+            done.defuse()
+            return
+        client = self._client_for(session.user)
+        session.add_user_message(user_message, tokens=user_message_tokens)
+
+        if self.config.backend_overhead_s > 0:
+            yield self.env.timeout(self.config.backend_overhead_s)
+
+        request = InferenceRequest(
+            request_id=self._ids.next("webui-req"),
+            model=session.model,
+            prompt_tokens=session.history_tokens,
+            max_output_tokens=output_tokens or self.config.default_turn_output_tokens,
+            kind=RequestKind.CHAT_COMPLETION,
+            user=session.user,
+            prompt_text=user_message,
+            stream=True,
+            metadata={"session": session.session_id, "turn": session.turns},
+        )
+        try:
+            result = yield client.submit(request)
+        except Exception as exc:  # noqa: BLE001 - surface to the UI layer
+            if not done.triggered:
+                done.fail(exc)
+                done.defuse()
+            return
+        reply = result.text or f"[{session.model}] (response of {result.output_tokens} tokens)"
+        session.add_assistant_message(reply, tokens=result.output_tokens)
+        self.turns_served += 1
+        if not done.triggered:
+            done.succeed(reply)
+
+    # -- multi-model comparison (the multi-column layout) ---------------------------------------
+    def compare(self, user: str, models: List[str], user_message: str,
+                output_tokens: Optional[int] = None) -> Dict[str, str]:
+        """Send the same prompt to several models side by side (blocking)."""
+        sessions = [self.new_session(user, model) for model in models]
+        events = [self.chat_turn(s.session_id, user_message, output_tokens) for s in sessions]
+        self.env.run(until=self.env.all_of(events))
+        return {s.model: ev.value for s, ev in zip(sessions, events)}

@@ -1,0 +1,83 @@
+"""Request arrival processes.
+
+The paper's benchmark sweeps offered request rates of 1, 5, 10, 20 req/s and
+an "infinite" rate where every request is sent at t=0 to saturate the server
+(§5.2.2).  Arrival processes generate the per-request send offsets.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterator, List, Optional
+
+from ..common import RandomSource
+
+__all__ = ["ArrivalProcess", "InfiniteArrival", "PoissonArrival", "UniformArrival", "make_arrival"]
+
+
+class ArrivalProcess:
+    """Base class: produces send-time offsets for ``n`` requests."""
+
+    def offsets(self, n: int) -> List[float]:
+        raise NotImplementedError
+
+    @property
+    def label(self) -> str:
+        raise NotImplementedError
+
+
+class InfiniteArrival(ArrivalProcess):
+    """All requests are sent immediately (the paper's "infinite request rate")."""
+
+    def offsets(self, n: int) -> List[float]:
+        return [0.0] * n
+
+    @property
+    def label(self) -> str:
+        return "inf"
+
+
+class PoissonArrival(ArrivalProcess):
+    """Poisson arrivals at ``rate`` requests/s (vLLM benchmark default)."""
+
+    def __init__(self, rate: float, seed: int = 7):
+        if rate <= 0:
+            raise ValueError("rate must be > 0")
+        self.rate = rate
+        self.seed = seed
+
+    def offsets(self, n: int) -> List[float]:
+        rng = RandomSource(seed=self.seed)
+        t = 0.0
+        out = []
+        for _ in range(n):
+            out.append(t)
+            t += rng.exponential(1.0 / self.rate)
+        return out
+
+    @property
+    def label(self) -> str:
+        return f"{self.rate:g} req/s (poisson)"
+
+
+class UniformArrival(ArrivalProcess):
+    """Deterministic, evenly spaced arrivals at ``rate`` requests/s."""
+
+    def __init__(self, rate: float):
+        if rate <= 0:
+            raise ValueError("rate must be > 0")
+        self.rate = rate
+
+    def offsets(self, n: int) -> List[float]:
+        return [i / self.rate for i in range(n)]
+
+    @property
+    def label(self) -> str:
+        return f"{self.rate:g} req/s (uniform)"
+
+
+def make_arrival(rate: Optional[float], poisson: bool = True, seed: int = 7) -> ArrivalProcess:
+    """``rate=None`` (or ``inf``) → infinite arrival; otherwise Poisson/uniform."""
+    if rate is None or rate == float("inf"):
+        return InfiniteArrival()
+    return PoissonArrival(rate, seed=seed) if poisson else UniformArrival(rate)

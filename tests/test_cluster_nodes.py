@@ -1,0 +1,155 @@
+"""Unit tests for GPU/Node/Cluster models."""
+
+import pytest
+
+from repro.cluster import (
+    A100_40GB,
+    A100_80GB,
+    Cluster,
+    GPU,
+    GPUSpec,
+    Interconnect,
+    Node,
+    NodeSpec,
+    dgx_a100_spec,
+    polaris_like,
+    small_test_cluster,
+    sophia_like,
+)
+
+
+def test_gpu_spec_validation():
+    with pytest.raises(ValueError):
+        GPUSpec("bad", memory_gb=0.0)
+    with pytest.raises(ValueError):
+        GPUSpec("bad", memory_gb=40.0, compute_factor=0.0)
+
+
+def test_gpu_reserve_and_free():
+    gpu = GPU(index=0, spec=A100_40GB)
+    assert gpu.free_gb == 40.0
+    gpu.reserve(16.0, owner="llama-8b")
+    assert gpu.in_use
+    assert gpu.free_gb == 24.0
+    with pytest.raises(RuntimeError):
+        gpu.reserve(8.0, owner="other")
+    gpu.free()
+    assert not gpu.in_use
+    assert gpu.free_gb == 40.0
+
+
+def test_gpu_reserve_exceeding_memory_rejected():
+    gpu = GPU(index=0, spec=A100_40GB)
+    with pytest.raises(ValueError):
+        gpu.reserve(100.0, owner="llama-405b")
+
+
+def test_node_spec_and_factory():
+    spec = dgx_a100_spec()
+    assert spec.gpus_per_node == 8
+    assert spec.gpu_spec is A100_40GB
+    with pytest.raises(ValueError):
+        NodeSpec("bad", A100_40GB, gpus_per_node=0)
+
+
+def test_node_whole_allocation():
+    node = Node("n0", dgx_a100_spec())
+    node.allocate("job-1")
+    assert node.allocated
+    with pytest.raises(RuntimeError):
+        node.allocate("job-2")
+    node.deallocate()
+    assert not node.allocated
+
+
+def test_node_allocation_fails_when_down():
+    node = Node("n0", dgx_a100_spec())
+    node.fail()
+    with pytest.raises(RuntimeError):
+        node.allocate("job-1")
+    node.recover()
+    node.allocate("job-1")
+
+
+def test_node_gpu_colocation():
+    """A 70B model on 6 GPUs plus 8B and 7B models on the remaining 2 (paper §3.2.2)."""
+    node = Node("n0", dgx_a100_spec())
+    big = node.reserve_gpus(6, vram_per_gpu_gb=24.0, owner="llama-70b")
+    small1 = node.reserve_gpus(1, vram_per_gpu_gb=16.0, owner="llama-8b")
+    small2 = node.reserve_gpus(1, vram_per_gpu_gb=14.0, owner="mistral-7b")
+    assert len(big) == 6 and len(small1) == 1 and len(small2) == 1
+    assert len(node.free_gpus) == 0
+    with pytest.raises(RuntimeError):
+        node.reserve_gpus(1, vram_per_gpu_gb=8.0, owner="another")
+    assert node.release_gpus("llama-70b") == 6
+    assert len(node.free_gpus) == 6
+
+
+def test_node_deallocate_releases_gpus():
+    node = Node("n0", dgx_a100_spec())
+    node.allocate("job-1")
+    node.reserve_gpus(4, vram_per_gpu_gb=20.0, owner="model-x")
+    node.deallocate()
+    assert len(node.free_gpus) == 8
+
+
+def test_node_vram_accounting():
+    node = Node("n0", dgx_a100_spec())
+    assert node.total_vram_gb == 320.0
+    node.reserve_gpus(2, vram_per_gpu_gb=30.0, owner="m")
+    assert node.free_vram_gb == 320.0 - 60.0
+
+
+def test_cluster_requires_nodes():
+    with pytest.raises(ValueError):
+        Cluster("empty", [])
+
+
+def test_cluster_free_and_allocated_views():
+    cluster = small_test_cluster(num_nodes=3)
+    assert cluster.total_nodes == 3
+    cluster.nodes[0].allocate("job-1")
+    cluster.nodes[2].fail()
+    assert len(cluster.free_nodes) == 1
+    assert len(cluster.allocated_nodes) == 1
+    assert len(cluster.down_nodes) == 1
+    status = cluster.status(queued_jobs=2, running_jobs=1)
+    assert status.free_nodes == 1
+    assert status.queued_jobs == 2
+    assert status.to_dict()["cluster"] == "testcluster"
+
+
+def test_cluster_find_node():
+    cluster = small_test_cluster(num_nodes=2)
+    node = cluster.find_node("testcluster-001")
+    assert node.name == "testcluster-001"
+    with pytest.raises(KeyError):
+        cluster.find_node("missing")
+
+
+def test_interconnect_coordination_overhead():
+    fabric = Interconnect()
+    assert fabric.coordination_overhead_s(1) == 0.0
+    assert fabric.coordination_overhead_s(4) > fabric.coordination_overhead_s(2)
+
+
+def test_sophia_like_composition():
+    cluster = sophia_like()
+    assert cluster.total_nodes == 24
+    specs = [n.spec.gpu_spec for n in cluster.nodes]
+    assert specs.count(A100_80GB) == 2
+    assert specs.count(A100_40GB) == 22
+    # Total VRAM across the system should match the paper's 8320 GB figure.
+    total_vram = sum(n.total_vram_gb for n in cluster.nodes)
+    assert total_vram == pytest.approx(8320.0)
+
+
+def test_polaris_like_composition():
+    cluster = polaris_like(num_nodes=10)
+    assert cluster.total_nodes == 10
+    assert cluster.nodes[0].spec.gpus_per_node == 4
+
+
+def test_sophia_like_validation():
+    with pytest.raises(ValueError):
+        sophia_like(num_nodes=1, num_80gb_nodes=2)

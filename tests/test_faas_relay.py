@@ -1,0 +1,200 @@
+"""Tests for the FaaS function registry, task records and cloud relay."""
+
+import pytest
+
+from repro.common import AuthorizationError, NotFoundError
+from repro.faas import (
+    HANDLER_CHAT,
+    FunctionRegistry,
+    RelayConfig,
+    RelayService,
+    TaskRecord,
+    TaskStatus,
+)
+from repro.sim import Environment
+
+
+class FakeEndpoint:
+    """Minimal endpoint double: executes every task after a fixed delay."""
+
+    def __init__(self, env, endpoint_id="ep-fake", delay=1.0, succeed=True, instances=1):
+        self.env = env
+        self.endpoint_id = endpoint_id
+        self.delay = delay
+        self.succeed_tasks = succeed
+        self.instances = instances
+        self.executed = 0
+
+    def ready_instance_count(self):
+        return self.instances
+
+    def enqueue(self, record, function):
+        outcome = self.env.event()
+
+        def run(env):
+            yield env.timeout(self.delay)
+            self.executed += 1
+            if self.succeed_tasks:
+                outcome.succeed({"success": True, "result": {"echo": record.payload.get("x")}})
+            else:
+                outcome.succeed({"success": False, "error": "boom"})
+
+        self.env.process(run(self.env))
+        return outcome
+
+
+def make_relay(env, **endpoint_kwargs):
+    relay = RelayService(env)
+    relay.functions.register("fn-chat", "chat inference", HANDLER_CHAT, owner="admins")
+    endpoint = FakeEndpoint(env, **endpoint_kwargs)
+    relay.register_endpoint(endpoint)
+    return relay, endpoint
+
+
+# -- function registry ---------------------------------------------------------
+
+def test_function_registry_registration_and_lookup():
+    reg = FunctionRegistry()
+    fn = reg.register("fn-1", "inference", HANDLER_CHAT, owner="admins")
+    assert reg.is_registered("fn-1")
+    assert reg.get("fn-1") is fn
+    assert reg.function_ids == ["fn-1"]
+    with pytest.raises(ValueError):
+        reg.register("fn-1", "dup", HANDLER_CHAT, owner="admins")
+    with pytest.raises(NotFoundError):
+        reg.get("fn-2")
+
+
+def test_unregistered_function_rejected():
+    reg = FunctionRegistry()
+    with pytest.raises(AuthorizationError):
+        reg.require_registered("fn-evil")
+
+
+# -- relay submission ------------------------------------------------------------
+
+def test_relay_executes_task_and_resolves_future():
+    env = Environment()
+    relay, endpoint = make_relay(env)
+    future = relay.submit("fn-chat", "ep-fake", {"x": 42})
+
+    def run(env):
+        result = yield future.done
+        return (env.now, result)
+
+    p = env.process(run(env))
+    env.run(until=p)
+    t, result = p.value
+    assert result == {"echo": 42}
+    assert future.record.status == TaskStatus.COMPLETED
+    assert endpoint.executed == 1
+    # Total time = submit + dispatch + execution + routing + result latencies.
+    cfg = relay.config
+    expected_min = cfg.submit_latency_s + cfg.dispatch_latency_s + 1.0 + cfg.result_latency_s
+    assert t >= expected_min
+    assert relay.stats.completed == 1
+
+
+def test_relay_rejects_unregistered_function():
+    env = Environment()
+    relay, _ = make_relay(env)
+    with pytest.raises(AuthorizationError):
+        relay.submit("fn-unknown", "ep-fake", {})
+    assert relay.stats.submitted == 0
+
+
+def test_relay_rejects_unknown_endpoint():
+    env = Environment()
+    relay, _ = make_relay(env)
+    with pytest.raises(NotFoundError):
+        relay.submit("fn-chat", "ep-missing", {})
+
+
+def test_relay_requires_authorized_client_when_configured():
+    env = Environment()
+    relay, _ = make_relay(env)
+    relay.authorize_client("trusted-client")
+    with pytest.raises(AuthorizationError):
+        relay.submit("fn-chat", "ep-fake", {}, client_id="rogue")
+    future = relay.submit("fn-chat", "ep-fake", {}, client_id="trusted-client")
+    assert future.record.status == TaskStatus.PENDING
+
+
+def test_relay_duplicate_endpoint_registration_rejected():
+    env = Environment()
+    relay, endpoint = make_relay(env)
+    with pytest.raises(ValueError):
+        relay.register_endpoint(endpoint)
+
+
+def test_relay_failed_task_marks_failed_status():
+    env = Environment()
+    relay = RelayService(env)
+    relay.functions.register("fn-chat", "chat", HANDLER_CHAT, owner="admins")
+    relay.register_endpoint(FakeEndpoint(env, succeed=False))
+    future = relay.submit("fn-chat", "ep-fake", {})
+    env.run(until=future.done)
+    assert future.record.status == TaskStatus.FAILED
+    assert relay.stats.failed == 1
+    with pytest.raises(RuntimeError):
+        relay.get_result(future.task_id)
+
+
+def test_relay_status_and_result_lookup():
+    env = Environment()
+    relay, _ = make_relay(env)
+    future = relay.submit("fn-chat", "ep-fake", {"x": 1})
+    assert relay.get_status(future.task_id) == TaskStatus.PENDING
+    with pytest.raises(RuntimeError):
+        relay.get_result(future.task_id)
+    env.run(until=future.done)
+    assert relay.get_status(future.task_id) == TaskStatus.COMPLETED
+    assert relay.get_result(future.task_id) == {"echo": 1}
+    with pytest.raises(NotFoundError):
+        relay.get_status("task-999999")
+
+
+def test_relay_queue_depth_supports_thousands_of_tasks():
+    """Optimization 3: >8000 tasks can sit queued at the relay."""
+    env = Environment()
+    relay, endpoint = make_relay(env, delay=500.0)
+    futures = [relay.submit("fn-chat", "ep-fake", {"x": i}) for i in range(8500)]
+    env.run(until=10.0)
+    assert relay.queued_tasks >= 8000
+    assert relay.stats.peak_queued >= 8000
+
+
+def test_relay_routing_scalability_curve():
+    """The per-result routing rate follows R(N) = R_max * N / (N + half)."""
+    env = Environment()
+    relay = RelayService(env, RelayConfig(routing_rate_max=66.0, routing_half_instances=7.0))
+    relay.functions.register("fn-chat", "chat", HANDLER_CHAT, owner="admins")
+    rates = {}
+    for n in (1, 2, 3, 4):
+        relay.register_endpoint(FakeEndpoint(env, endpoint_id=f"ep-{n}", instances=0))
+        relay._endpoints[f"ep-{n}"].instances = 0
+    # Directly exercise the service-time computation for various instance counts.
+    for n in (1, 2, 3, 4):
+        for ep in relay._endpoints.values():
+            ep.instances = 0
+        relay._endpoints["ep-1"].instances = n
+        rates[n] = 1.0 / relay.result_service_time_s()
+    assert rates[1] == pytest.approx(66.0 * 1 / 8, rel=1e-6)
+    assert rates[4] == pytest.approx(66.0 * 4 / 11, rel=1e-6)
+    # Matches the paper's Fig. 4 throughputs within ~10%.
+    assert rates[1] == pytest.approx(8.3, rel=0.10)
+    assert rates[2] == pytest.approx(14.6, rel=0.10)
+    assert rates[3] == pytest.approx(20.9, rel=0.10)
+    assert rates[4] == pytest.approx(23.9, rel=0.10)
+
+
+def test_task_record_timing_properties():
+    record = TaskRecord(task_id="t", function_id="f", endpoint_id="e", payload={},
+                        submit_time=1.0)
+    assert record.queue_time_s is None
+    assert record.total_time_s is None
+    record.dispatch_time = 3.0
+    record.completion_time = 10.0
+    assert record.queue_time_s == 2.0
+    assert record.total_time_s == 9.0
+    assert record.to_dict()["status"] == "pending"

@@ -1,0 +1,181 @@
+"""Tests for the federation layer and the FIRSTDeployment assembly."""
+
+import pytest
+
+from repro.common import ConfigurationError, NotFoundError
+from repro.core import (
+    ClusterDeploymentSpec,
+    DeploymentConfig,
+    FIRSTDeployment,
+    ModelDeploymentSpec,
+    calibration,
+)
+from repro.federation import FirstConfiguredRouter, PriorityRouter, RandomRouter
+from repro.serving import InferenceRequest
+
+MODEL_8B = "meta-llama/Llama-3.1-8B-Instruct"
+MODEL_7B = "Qwen/Qwen2.5-7B-Instruct"
+
+
+def federated_deployment(sophia_nodes=2, polaris_nodes=2):
+    config = DeploymentConfig(
+        clusters=[
+            ClusterDeploymentSpec(
+                name="sophia", kind="small", num_nodes=sophia_nodes, scheduler="pbs",
+                models=[ModelDeploymentSpec(MODEL_8B, max_instances=2, max_parallel_tasks=16)],
+            ),
+            ClusterDeploymentSpec(
+                name="polaris", kind="small", num_nodes=polaris_nodes, scheduler="pbs",
+                models=[ModelDeploymentSpec(MODEL_8B, max_instances=2, max_parallel_tasks=16),
+                        ModelDeploymentSpec(MODEL_7B, max_parallel_tasks=16)],
+            ),
+        ],
+        users=["benchmark@anl.gov"],
+        generate_text=False,
+    )
+    return FIRSTDeployment(config)
+
+
+# -- registry ------------------------------------------------------------------------
+
+def test_registry_orders_endpoints_by_registration():
+    deployment = federated_deployment()
+    entries = deployment.registry.endpoints_for_model(MODEL_8B)
+    assert [e.cluster for e in entries] == ["sophia", "polaris"]
+    # 7B is only hosted on polaris.
+    assert [e.cluster for e in deployment.registry.endpoints_for_model(MODEL_7B)] == ["polaris"]
+    assert deployment.registry.endpoints_for_model("unhosted-model") == []
+    assert set(deployment.registry.hosted_models()) == {MODEL_8B, MODEL_7B}
+    with pytest.raises(NotFoundError):
+        deployment.registry.get("ep-missing")
+
+
+# -- routing policies -------------------------------------------------------------------
+
+def test_priority_router_prefers_active_instance():
+    deployment = federated_deployment()
+    # Warm the model on polaris (the *second* priority endpoint).
+    deployment.warm_up(MODEL_8B, endpoint_id="ep-polaris")
+    router = PriorityRouter(deployment.registry)
+    proc = deployment.env.process(router.select(MODEL_8B))
+    endpoint = deployment.env.run(until=proc)
+    assert endpoint.endpoint_id == "ep-polaris"
+    assert router.decisions[-1].rule == "active-instance"
+
+
+def test_priority_router_falls_back_to_free_nodes():
+    deployment = federated_deployment()
+    # Nothing is warm; sophia (priority 0) has free nodes, so rule 2 picks it.
+    router = PriorityRouter(deployment.registry)
+    proc = deployment.env.process(router.select(MODEL_8B))
+    endpoint = deployment.env.run(until=proc)
+    assert endpoint.endpoint_id == "ep-sophia"
+    assert router.decisions[-1].rule == "free-nodes"
+
+
+def test_priority_router_falls_back_to_first_configured_when_everything_busy():
+    deployment = federated_deployment()
+    # Fill every node on both clusters with background allocations.
+    for cluster in deployment.clusters.values():
+        for node in cluster.nodes:
+            node.allocate("background-job")
+    router = PriorityRouter(deployment.registry)
+    proc = deployment.env.process(router.select(MODEL_8B))
+    endpoint = deployment.env.run(until=proc)
+    assert endpoint.endpoint_id == "ep-sophia"
+    assert router.decisions[-1].rule == "first-configured"
+
+
+def test_priority_router_unknown_model():
+    deployment = federated_deployment()
+    router = PriorityRouter(deployment.registry)
+    with pytest.raises(NotFoundError):
+        deployment.env.process(router.select("model-nobody-hosts"))
+        deployment.run_for(1.0)
+
+
+def test_random_and_first_configured_routers():
+    deployment = federated_deployment()
+    rand = RandomRouter(deployment.registry, seed=3)
+    first = FirstConfiguredRouter(deployment.registry)
+    chosen = set()
+    for _ in range(20):
+        proc = deployment.env.process(rand.select(MODEL_8B))
+        endpoint = deployment.env.run(until=proc)
+        chosen.add(endpoint.endpoint_id)
+    assert chosen == {"ep-sophia", "ep-polaris"}
+    proc = deployment.env.process(first.select(MODEL_8B))
+    endpoint = deployment.env.run(until=proc)
+    assert endpoint.endpoint_id == "ep-sophia"
+
+
+def test_federated_requests_route_to_warm_cluster_end_to_end():
+    deployment = federated_deployment()
+    deployment.warm_up(MODEL_8B, endpoint_id="ep-polaris")
+    client = deployment.client("benchmark@anl.gov")
+    ev = client.submit(InferenceRequest("fed-0", MODEL_8B, prompt_tokens=100,
+                                        max_output_tokens=50))
+    deployment.env.run(until=ev)
+    result = ev.value
+    assert result.success
+    assert result.cluster == "polaris"
+
+
+# -- deployment assembly ------------------------------------------------------------------
+
+def test_deployment_requires_clusters():
+    with pytest.raises(ConfigurationError):
+        FIRSTDeployment(DeploymentConfig(clusters=[]))
+
+
+def test_deployment_unknown_cluster_kind():
+    with pytest.raises(ConfigurationError):
+        FIRSTDeployment(DeploymentConfig(clusters=[ClusterDeploymentSpec(name="x", kind="weird")]))
+
+
+def test_quickstart_deployment_serves_a_request():
+    deployment = FIRSTDeployment.quickstart()
+    client = deployment.client("researcher@anl.gov")
+    response = client.chat_completion(
+        MODEL_7B, [{"role": "user", "content": "What GPUs does the cluster have?"}],
+        max_tokens=32,
+    )
+    assert response["usage"]["completion_tokens"] == 32
+    assert len(response["choices"][0]["message"]["content"]) > 0
+
+
+def test_sophia_benchmark_deployment_shape():
+    deployment = FIRSTDeployment.sophia_benchmark(max_instances=2, num_nodes=4)
+    assert "sophia" in deployment.clusters
+    assert deployment.clusters["sophia"].total_nodes == 4
+    pool_models = list(deployment.endpoints["ep-sophia"].pools)
+    assert pool_models == ["meta-llama/Llama-3.3-70B-Instruct"]
+
+
+def test_federated_constructor_two_clusters():
+    deployment = FIRSTDeployment.federated(sophia_nodes=2, polaris_nodes=2)
+    assert set(deployment.clusters) == {"sophia", "polaris"}
+    assert len(deployment.registry.entries) == 2
+
+
+def test_prewarm_unknown_model_rejected():
+    deployment = federated_deployment()
+    with pytest.raises(ConfigurationError):
+        deployment.prewarm("model-nobody-hosts")
+
+
+def test_client_for_unregistered_user_registers_on_demand():
+    deployment = federated_deployment()
+    client = deployment.client("newuser@university.edu")
+    assert client.username == "newuser@university.edu"
+    assert "newuser@university.edu" in deployment.auth.registered_users
+
+
+def test_calibration_describe_and_defaults():
+    notes = calibration.describe()
+    assert any("Fig. 4" in v for v in notes.values())
+    perf = calibration.default_perf_config()
+    assert perf.alpha == pytest.approx(4500.0)
+    relay = calibration.default_relay_config()
+    assert relay.routing_rate_max == pytest.approx(66.0)
+    assert calibration.default_gateway_config().async_worker_slots > 100

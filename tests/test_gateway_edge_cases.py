@@ -1,0 +1,191 @@
+"""Additional edge-case coverage for gateway components and the FaaS client."""
+
+import pytest
+
+from repro.common import NotFoundError, ValidationError
+from repro.core import (
+    ClusterDeploymentSpec,
+    DeploymentConfig,
+    FIRSTDeployment,
+    ModelDeploymentSpec,
+)
+from repro.gateway import GatewayConfig, GatewayMetrics, ResponseCache, ServerMode
+from repro.serving import InferenceRequest
+from repro.sim import Environment
+
+MODEL_7B = "Qwen/Qwen2.5-7B-Instruct"
+EMBED = "nvidia/NV-Embed-v2"
+
+
+@pytest.fixture(scope="module")
+def deployment():
+    config = DeploymentConfig(
+        clusters=[
+            ClusterDeploymentSpec(
+                name="devcluster", kind="small", num_nodes=2, scheduler="local",
+                models=[
+                    ModelDeploymentSpec(MODEL_7B, max_parallel_tasks=32),
+                    ModelDeploymentSpec(EMBED, backend="infinity"),
+                ],
+            )
+        ],
+        users=["researcher@anl.gov"],
+        generate_text=True,
+    )
+    d = FIRSTDeployment(config)
+    d.warm_up(MODEL_7B)
+    return d
+
+
+# -- response cache unit behaviour -------------------------------------------------
+
+def test_response_cache_ttl_expiry_and_eviction():
+    cache = ResponseCache(ttl_s=10.0, max_entries=2)
+    k1 = ResponseCache.key_for("m", "prompt one", 10)
+    k2 = ResponseCache.key_for("m", "prompt two", 10)
+    k3 = ResponseCache.key_for("m", "prompt three", 10)
+    cache.put(k1, "r1", now=0.0)
+    cache.put(k2, "r2", now=1.0)
+    assert cache.get(k1, now=5.0) == "r1"
+    # TTL expiry.
+    assert cache.get(k1, now=20.0) is None
+    # Eviction keeps the cache bounded.
+    cache.put(k1, "r1", now=21.0)
+    cache.put(k3, "r3", now=22.0)
+    assert len(cache) <= 2
+    # Different parameters produce different keys.
+    assert ResponseCache.key_for("m", "p", 10) != ResponseCache.key_for("m", "p", 20)
+    assert ResponseCache.key_for("m", "p", 10, {"temperature": 0.1}) != ResponseCache.key_for(
+        "m", "p", 10, {"temperature": 0.9}
+    )
+
+
+# -- gateway metrics unit behaviour ---------------------------------------------------
+
+def test_gateway_metrics_counters_and_dashboard():
+    env = Environment()
+    metrics = GatewayMetrics(env)
+    metrics.request_started("m1", 100)
+    metrics.request_started("m2", 50)
+    assert metrics.in_flight == 2
+    metrics.request_completed("m1", 200, 3.0)
+    metrics.request_failed("m2")
+    assert metrics.in_flight == 0
+    assert metrics.peak_in_flight == 2
+    assert metrics.total_requests == 2
+    assert metrics.total_completed == 1
+    assert metrics.total_output_tokens == 200
+    dashboard = metrics.dashboard(extra={"custom": 1})
+    assert dashboard["custom"] == 1
+    per_model = {m["model"]: m for m in dashboard["models"]}
+    assert per_model["m1"]["mean_latency_s"] == pytest.approx(3.0)
+    assert per_model["m2"]["failed"] == 1
+
+
+# -- request body validation ------------------------------------------------------------
+
+def test_completions_requires_prompt(deployment):
+    client = deployment.client("researcher@anl.gov")
+    with pytest.raises(ValidationError):
+        client.completion(MODEL_7B, prompt="", max_tokens=10)
+
+
+def test_embeddings_requires_input(deployment):
+    client = deployment.client("researcher@anl.gov")
+    gateway = deployment.gateway
+    proc = deployment.env.process(
+        gateway.embeddings(client.access_token, {"model": EMBED, "input": ""})
+    )
+    with pytest.raises(ValidationError):
+        deployment.env.run(until=proc)
+
+
+def test_prompt_tokens_hint_is_respected(deployment):
+    client = deployment.client("researcher@anl.gov")
+    gateway = deployment.gateway
+    body = {
+        "model": MODEL_7B,
+        "messages": [{"role": "user", "content": "short"}],
+        "max_tokens": 16,
+        "prompt_tokens_hint": 999,
+        "request_id": "hinted-req",
+    }
+    proc = deployment.env.process(gateway.chat_completions(client.access_token, body))
+    response = deployment.env.run(until=proc)
+    assert response["usage"]["prompt_tokens"] == 999
+
+
+def test_sampling_params_are_accepted_and_logged(deployment):
+    client = deployment.client("researcher@anl.gov")
+    response = client.chat_completion(
+        MODEL_7B,
+        [{"role": "user", "content": "sampled"}],
+        max_tokens=8,
+        temperature=0.2,
+        top_p=0.9,
+    )
+    assert response["usage"]["completion_tokens"] == 8
+
+
+def test_alias_model_name_resolves_to_catalog_name(deployment):
+    client = deployment.client("researcher@anl.gov")
+    # The catalog accepts aliases; the canonical name comes back in the response.
+    response = client.chat_completion(
+        "Qwen/Qwen2.5-7B-Instruct", [{"role": "user", "content": "x"}], max_tokens=8
+    )
+    assert response["model"] == MODEL_7B
+
+
+def test_list_models_and_jobs_are_consistent(deployment):
+    client = deployment.client("researcher@anl.gov")
+    hosted = {m["id"] for m in client.models()["data"]}
+    job_models = {j["model"] for j in client.jobs()}
+    assert hosted == job_models
+
+
+def test_dashboard_includes_relay_queue_and_auth_cache(deployment):
+    client = deployment.client("researcher@anl.gov")
+    client.chat_completion(MODEL_7B, [{"role": "user", "content": "dash"}], max_tokens=8)
+    dash = client.dashboard()
+    assert "queued_at_relay" in dash
+    assert dash["auth_cache"]["misses"] >= 1
+
+
+def test_gateway_config_worker_slot_sizing():
+    async_cfg = GatewayConfig(cpu_count=16, threads_per_worker=4)
+    assert async_cfg.async_worker_slots == (16 * 2 + 1) * 4
+    assert async_cfg.worker_slots() == async_cfg.async_worker_slots
+    sync_cfg = GatewayConfig(server_mode=ServerMode.SYNC_LEGACY, sync_workers=9)
+    assert sync_cfg.worker_slots() == 9
+
+
+def test_batch_results_are_retained_in_database(deployment):
+    from repro.workload import ShareGPTWorkload, requests_to_jsonl
+
+    client = deployment.client("researcher@anl.gov")
+    requests = ShareGPTWorkload().generate(MODEL_7B, num_requests=8, id_prefix="dbres")
+    batch = client.create_batch(requests_to_jsonl(requests))
+    final = client.wait_for_batch(batch["id"], poll_every_s=30.0)
+    record = deployment.database.get_batch(batch["id"])
+    assert final["request_counts"]["completed"] == 8
+    assert len(record.results) == 8
+    assert all(r.success for r in record.results)
+
+
+def test_unknown_endpoint_in_batch_request_raises(deployment):
+    from repro.workload import ShareGPTWorkload, requests_to_jsonl
+
+    client = deployment.client("researcher@anl.gov")
+    requests = ShareGPTWorkload().generate(MODEL_7B, num_requests=2, id_prefix="noep")
+    with pytest.raises(NotFoundError):
+        client.create_batch(requests_to_jsonl(requests), endpoint_id="ep-missing")
+
+
+def test_routing_cache_reuses_decision(deployment):
+    client = deployment.client("researcher@anl.gov")
+    before = len(deployment.gateway.router.decisions)
+    client.chat_completion(MODEL_7B, [{"role": "user", "content": "r1"}], max_tokens=8)
+    client.chat_completion(MODEL_7B, [{"role": "user", "content": "r2"}], max_tokens=8)
+    after = len(deployment.gateway.router.decisions)
+    # Within the routing-cache TTL the second request does not re-query.
+    assert after - before <= 1

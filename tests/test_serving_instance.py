@@ -1,0 +1,290 @@
+"""Tests for ServingInstance, OfflineBatchRunner, EmbeddingEngine, backends, textgen."""
+
+import numpy as np
+import pytest
+
+from repro.cluster import A100_40GB, Node, dgx_a100_spec, small_test_cluster
+from repro.serving import (
+    BACKENDS,
+    EmbeddingEngine,
+    EngineConfig,
+    InferenceRequest,
+    InstanceState,
+    OfflineBatchRunner,
+    PerformanceModel,
+    RequestKind,
+    ServingInstance,
+    SyntheticTextGenerator,
+    default_catalog,
+    estimate_tokens,
+    get_backend,
+    hash_embedding,
+)
+from repro.sim import Environment
+
+CATALOG = default_catalog()
+
+
+def make_request(i, prompt=220, output=100, model="meta-llama/Llama-3.3-70B-Instruct"):
+    return InferenceRequest(
+        request_id=f"req-{i:05d}", model=model, prompt_tokens=prompt, max_output_tokens=output
+    )
+
+
+# ---------------------------------------------------------------------------
+# ServingInstance
+# ---------------------------------------------------------------------------
+
+def test_instance_cold_start_then_ready():
+    env = Environment()
+    node = Node("n0", dgx_a100_spec())
+    spec = CATALOG.get("Llama-3.3-70B")
+    inst = ServingInstance(env, spec, [node], engine_config=EngineConfig(generate_text=False))
+    assert inst.state == InstanceState.STARTING
+    env.run(until=inst.ready)
+    assert inst.state == InstanceState.RUNNING
+    # 70B cold start: weight read + engine init ≈ 1 minute.
+    assert 40.0 <= env.now <= 120.0
+    assert len(node.free_gpus) == 0  # TP=8 reserved all GPUs
+
+
+def test_instance_serves_requests_after_ready():
+    env = Environment()
+    node = Node("n0", dgx_a100_spec())
+    spec = CATALOG.get("Llama-3.1-8B")
+    inst = ServingInstance(env, spec, [node], engine_config=EngineConfig(generate_text=False))
+
+    def run(env):
+        yield inst.ready
+        ev = inst.submit(make_request(0, model=spec.name))
+        result = yield ev
+        return result
+
+    p = env.process(run(env))
+    env.run(until=p)
+    assert p.value.success
+    assert p.value.output_tokens == 100
+
+
+def test_instance_submit_before_ready_raises():
+    env = Environment()
+    node = Node("n0", dgx_a100_spec())
+    spec = CATALOG.get("Llama-3.1-8B")
+    inst = ServingInstance(env, spec, [node])
+    with pytest.raises(RuntimeError):
+        inst.submit(make_request(0))
+
+
+def test_instance_insufficient_gpus_rolls_back():
+    env = Environment()
+    node = Node("n0", dgx_a100_spec())
+    spec = CATALOG.get("Llama-3.3-70B")
+    node.reserve_gpus(4, 20.0, owner="other")  # only 4 free, need 8
+    with pytest.raises(RuntimeError):
+        ServingInstance(env, spec, [node])
+    # The failed attempt must not leak reservations.
+    assert len(node.free_gpus) == 4
+
+
+def test_instance_colocation_on_one_node():
+    """Paper §3.2.2: a 70B on 6 GPUs is not modelled, but an 8B (TP=4) and a
+    7B (TP=1) co-locate with a 14B (TP=2) on one 8-GPU node."""
+    env = Environment()
+    node = Node("n0", dgx_a100_spec())
+    i1 = ServingInstance(env, CATALOG.get("Llama-3.1-8B"), [node])
+    i2 = ServingInstance(env, CATALOG.get("Qwen/Qwen2.5-7B-Instruct"), [node])
+    i3 = ServingInstance(env, CATALOG.get("Qwen/Qwen2.5-14B-Instruct"), [node])
+    env.run(until=env.all_of([i1.ready, i2.ready, i3.ready]))
+    assert len(node.free_gpus) == 8 - (4 + 1 + 2)
+
+
+def test_instance_multi_node_reservation():
+    """A 405B model (~800 GB of VRAM needed, §4.3) spans four 8xA100-40GB nodes."""
+    env = Environment()
+    cluster = small_test_cluster(num_nodes=4, gpus_per_node=8)
+    spec = CATALOG.get("Llama-3.1-405B")
+    inst = ServingInstance(env, spec, cluster.nodes, tensor_parallel=32)
+    env.run(until=inst.ready)
+    assert all(len(n.free_gpus) == 0 for n in cluster.nodes)
+    # Multi-node load (weight volume + fabric coordination) takes far longer
+    # than a single-node 70B load (~60 s).
+    assert inst.load_time_s > 70.0
+
+
+def test_instance_stop_releases_gpus_and_fails_engine():
+    env = Environment()
+    node = Node("n0", dgx_a100_spec())
+    spec = CATALOG.get("Llama-3.1-8B")
+    inst = ServingInstance(env, spec, [node])
+    env.run(until=inst.ready)
+    inst.stop()
+    assert inst.state == InstanceState.STOPPED
+    assert len(node.free_gpus) == 8
+    with pytest.raises(RuntimeError):
+        inst.submit(make_request(0))
+
+
+def test_instance_stop_while_loading():
+    env = Environment()
+    node = Node("n0", dgx_a100_spec())
+    spec = CATALOG.get("Llama-3.3-70B")
+    inst = ServingInstance(env, spec, [node])
+
+    def stopper(env):
+        yield env.timeout(5.0)
+        inst.stop()
+
+    env.process(stopper(env))
+    env.run(until=200.0)
+    assert inst.state == InstanceState.STOPPED
+    assert len(node.free_gpus) == 8
+
+
+def test_instance_idle_tracking():
+    env = Environment()
+    node = Node("n0", dgx_a100_spec())
+    spec = CATALOG.get("Llama-3.1-8B")
+    inst = ServingInstance(env, spec, [node], engine_config=EngineConfig(generate_text=False))
+
+    def run(env):
+        yield inst.ready
+        ev = inst.submit(make_request(0, model=spec.name, output=20))
+        yield ev
+        yield env.timeout(500.0)
+        return inst.idle_for_s
+
+    p = env.process(run(env))
+    env.run(until=p)
+    assert p.value >= 500.0
+
+
+def test_instance_rejects_embedding_only_backend_for_chat_model():
+    env = Environment()
+    node = Node("n0", dgx_a100_spec())
+    spec = CATALOG.get("Llama-3.1-8B")
+    with pytest.raises(ValueError):
+        ServingInstance(env, spec, [node], backend="infinity")
+
+
+# ---------------------------------------------------------------------------
+# Offline batch runner
+# ---------------------------------------------------------------------------
+
+def test_offline_runner_processes_all_requests():
+    env = Environment()
+    spec = CATALOG.get("Llama-3.3-70B")
+    perf = PerformanceModel(spec, 8, A100_40GB, node_spec=dgx_a100_spec())
+    runner = OfflineBatchRunner(env, perf)
+    requests = [make_request(i, output=150) for i in range(200)]
+
+    def run(env):
+        result = yield from runner.run(requests)
+        return result
+
+    p = env.process(run(env))
+    env.run(until=p)
+    out = p.value
+    assert out.num_completed == 200
+    assert out.total_output_tokens == 200 * 150
+    assert out.load_time_s > 0
+    assert out.duration_s == pytest.approx(out.load_time_s + out.processing_time_s)
+    # Offline processing reaches close to the engine's saturated throughput.
+    assert out.processing_output_tok_s > 1200.0
+
+
+def test_offline_runner_load_time_amortisation():
+    """§5.3.1: the cold start dominates small batches but amortises for large ones."""
+    spec = CATALOG.get("Llama-3.3-70B")
+
+    def run_batch(n):
+        env = Environment()
+        perf = PerformanceModel(spec, 8, A100_40GB, node_spec=dgx_a100_spec())
+        runner = OfflineBatchRunner(env, perf)
+        reqs = [make_request(i, output=150) for i in range(n)]
+        p = env.process(runner.run(reqs))
+        env.run(until=p)
+        return p.value
+
+    small = run_batch(20)
+    large = run_batch(500)
+    assert small.load_time_s / small.duration_s > large.load_time_s / large.duration_s
+    assert large.overall_output_tok_s > small.overall_output_tok_s
+
+
+def test_offline_runner_empty_batch():
+    env = Environment()
+    spec = CATALOG.get("Llama-3.1-8B")
+    perf = PerformanceModel(spec, 4, A100_40GB, node_spec=dgx_a100_spec())
+    runner = OfflineBatchRunner(env, perf)
+    p = env.process(runner.run([]))
+    env.run(until=p)
+    assert p.value.results == []
+    assert p.value.duration_s == 0.0
+
+
+# ---------------------------------------------------------------------------
+# Embedding engine
+# ---------------------------------------------------------------------------
+
+def test_hash_embedding_deterministic_and_normalised():
+    a = hash_embedding("parallel file system tuning", dim=128)
+    b = hash_embedding("parallel file system tuning", dim=128)
+    assert np.allclose(a, b)
+    assert np.linalg.norm(a) == pytest.approx(1.0)
+
+
+def test_hash_embedding_similarity_orders_related_texts():
+    query = hash_embedding("how do I submit a PBS job on the cluster")
+    related = hash_embedding("submit a PBS job with qsub on the cluster login node")
+    unrelated = hash_embedding("the climate model uses spectral transforms")
+    assert float(query @ related) > float(query @ unrelated)
+
+
+def test_embedding_engine_batches_and_returns_vectors():
+    env = Environment()
+    spec = CATALOG.get("nvidia/NV-Embed-v2")
+    engine = EmbeddingEngine(env, spec, num_gpus=1)
+    reqs = [
+        InferenceRequest(
+            request_id=f"emb-{i}",
+            model=spec.name,
+            prompt_tokens=64,
+            max_output_tokens=1,
+            kind=RequestKind.EMBEDDING,
+            prompt_text=f"document {i} about GPU memory",
+        )
+        for i in range(10)
+    ]
+    events = [engine.submit(r) for r in reqs]
+    env.run(until=env.all_of(events))
+    results = [ev.value for ev in events]
+    assert all(r.success for r in results)
+    assert all(len(r.embedding) == spec.embedding_dim for r in results)
+    assert engine.completed == 10
+    # Batched: total time well under 10 sequential batches.
+    assert env.now < 1.0
+
+
+# ---------------------------------------------------------------------------
+# Backends and text generation
+# ---------------------------------------------------------------------------
+
+def test_backend_registry_contents():
+    assert "vllm" in BACKENDS and "infinity" in BACKENDS
+    assert get_backend("VLLM").throughput_factor == 1.0
+    assert get_backend("sglang").throughput_factor > 1.0
+    assert not get_backend("infinity").supports_generation
+    with pytest.raises(KeyError):
+        get_backend("unknown-backend")
+
+
+def test_textgen_token_count_and_determinism():
+    gen = SyntheticTextGenerator()
+    req = InferenceRequest("r-1", "m", prompt_tokens=10, max_output_tokens=100,
+                           prompt_text="hello")
+    text1 = gen.generate(req, 100)
+    text2 = gen.generate(req, 100)
+    assert text1 == text2
+    # ~0.75 words per token
+    assert 60 <= len(text1.split()) <= 90
+    assert estimate_tokens(text1) >= 80

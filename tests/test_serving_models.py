@@ -1,0 +1,77 @@
+"""Unit tests for the model catalog and specs."""
+
+import pytest
+
+from repro.serving import ModelCatalog, ModelKind, ModelSpec, default_catalog
+
+
+def test_model_spec_validation():
+    with pytest.raises(ValueError):
+        ModelSpec("bad", params_b=0)
+    with pytest.raises(ValueError):
+        ModelSpec("bad", params_b=7, default_tp=0)
+
+
+def test_model_spec_derived_sizes():
+    spec = ModelSpec("meta-llama/Llama-3.1-8B-Instruct", 8, default_tp=4, n_layers=32,
+                     kv_heads=8, head_dim=128)
+    assert spec.weights_gb == pytest.approx(16.0)
+    # 2 (K+V) * 32 layers * 8 heads * 128 dim * 2 bytes
+    assert spec.kv_bytes_per_token == pytest.approx(2 * 32 * 8 * 128 * 2)
+    assert spec.gpus_required(gpu_memory_gb=40.0) == 1
+    assert spec.vram_per_gpu_gb(tp=4) == pytest.approx(16.0 * 1.2 / 4)
+
+
+def test_gpus_required_scales_with_model_size():
+    big = ModelSpec("llama-405b", 405, default_tp=16)
+    small = ModelSpec("llama-8b", 8, default_tp=1)
+    assert big.gpus_required(40.0) > small.gpus_required(40.0)
+    # A 405B model cannot fit on a single 8-GPU 40 GB node.
+    assert big.gpus_required(40.0) > 8
+
+
+def test_catalog_contains_paper_models():
+    catalog = default_catalog()
+    # Benchmark models of §5
+    assert "meta-llama/Llama-3.3-70B-Instruct" in catalog
+    assert "meta-llama/Llama-3.1-8B-Instruct" in catalog
+    assert "google/gemma-2-27b-it" in catalog
+    # The three functional groups of §4.2
+    assert len(catalog.by_kind(ModelKind.CHAT)) >= 8
+    assert len(catalog.by_kind(ModelKind.VISION)) == 2
+    assert len(catalog.by_kind(ModelKind.EMBEDDING)) == 1
+
+
+def test_catalog_alias_lookup():
+    catalog = default_catalog()
+    spec = catalog.get("Llama-3.3-70B")
+    assert spec.name == "meta-llama/Llama-3.3-70B-Instruct"
+    assert spec.default_tp == 8
+    spec8 = catalog.get("Llama-3.1-8B")
+    assert spec8.default_tp == 4
+
+
+def test_catalog_registration_and_duplicates():
+    catalog = ModelCatalog()
+    spec = ModelSpec("org/new-model", 13)
+    catalog.register(spec)
+    assert "org/new-model" in catalog
+    with pytest.raises(ValueError):
+        catalog.register(spec)
+    catalog.unregister("org/new-model")
+    assert "org/new-model" not in catalog
+    with pytest.raises(KeyError):
+        catalog.get("org/new-model")
+
+
+def test_catalog_names_sorted_and_iterable():
+    catalog = default_catalog()
+    assert catalog.names == sorted(catalog.names)
+    assert len(list(iter(catalog))) == len(catalog)
+
+
+def test_embedding_model_flag():
+    catalog = default_catalog()
+    nv = catalog.get("nvidia/NV-Embed-v2")
+    assert nv.is_embedding
+    assert nv.embedding_dim > 0

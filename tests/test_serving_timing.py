@@ -1,0 +1,126 @@
+"""Tests for the serving performance model, including calibration sanity checks."""
+
+import pytest
+
+from repro.cluster import A100_40GB, dgx_a100_spec
+from repro.serving import PerfModelConfig, PerformanceModel, default_catalog
+
+
+@pytest.fixture(scope="module")
+def catalog():
+    return default_catalog()
+
+
+def perf_for(catalog, name, tp=None, num_nodes=1):
+    spec = catalog.get(name)
+    return PerformanceModel(
+        model=spec,
+        num_gpus=tp or spec.default_tp,
+        gpu_spec=A100_40GB,
+        node_spec=dgx_a100_spec(),
+        num_nodes=num_nodes,
+    )
+
+
+def test_70b_low_batch_per_sequence_speed_matches_paper(catalog):
+    """Fig. 3: a single ShareGPT request (≈182 output tokens) completes in ≈3 s
+    against the direct vLLM server at 1 req/s, i.e. ≈60-70 tok/s per sequence."""
+    perf = perf_for(catalog, "Llama-3.3-70B")
+    per_seq = perf.per_sequence_decode_tok_s(1)
+    assert 55.0 <= per_seq <= 80.0
+
+
+def test_70b_saturated_throughput_matches_paper(catalog):
+    """Fig. 3/4: saturated aggregate throughput for 70B on 8xA100 is ~1400-1800 tok/s."""
+    perf = perf_for(catalog, "Llama-3.3-70B")
+    assert 1400.0 <= perf.aggregate_decode_tok_s(96) <= 1900.0
+
+
+def test_8b_saturated_throughput_matches_paper(catalog):
+    """Fig. 5: Llama 3.1 8B (TP=4) reaches ≈3300 tok/s through FIRST."""
+    perf = perf_for(catalog, "Llama-3.1-8B")
+    assert 2800.0 <= perf.aggregate_decode_tok_s(96) <= 3800.0
+
+
+def test_throughput_monotonically_increases_with_batch(catalog):
+    perf = perf_for(catalog, "Llama-3.3-70B")
+    rates = [perf.aggregate_decode_tok_s(b) for b in (1, 4, 16, 64, 256)]
+    assert all(a < b for a, b in zip(rates, rates[1:]))
+    assert rates[-1] < perf.decode_ceiling_tok_s
+
+
+def test_per_sequence_speed_decreases_with_batch(catalog):
+    perf = perf_for(catalog, "Llama-3.3-70B")
+    assert perf.per_sequence_decode_tok_s(1) > perf.per_sequence_decode_tok_s(64)
+
+
+def test_smaller_model_is_faster(catalog):
+    small = perf_for(catalog, "Llama-3.1-8B", tp=4)
+    big = perf_for(catalog, "Llama-3.3-70B", tp=8)
+    assert small.decode_ceiling_tok_s > big.decode_ceiling_tok_s
+
+
+def test_more_gpus_increase_throughput(catalog):
+    tp4 = perf_for(catalog, "Llama-3.3-70B", tp=4)
+    tp8 = perf_for(catalog, "Llama-3.3-70B", tp=8)
+    assert tp8.decode_ceiling_tok_s > tp4.decode_ceiling_tok_s
+
+
+def test_decode_step_time_and_aggregate_consistent(catalog):
+    perf = perf_for(catalog, "Llama-3.3-70B")
+    for b in (1, 8, 64):
+        step = perf.decode_step_time_s(b)
+        assert step * perf.aggregate_decode_tok_s(b) == pytest.approx(b)
+
+
+def test_prefill_much_faster_than_decode(catalog):
+    perf = perf_for(catalog, "Llama-3.3-70B")
+    assert perf.prefill_tok_s > 3 * perf.decode_ceiling_tok_s
+    assert perf.prefill_time_s(2200) < 1.0
+
+
+def test_load_time_scales_with_model_size(catalog):
+    """§4.3: an 8B model loads quickly; a 405B model takes far longer."""
+    small = perf_for(catalog, "Llama-3.1-8B")
+    big = perf_for(catalog, "Llama-3.1-405B", tp=16, num_nodes=2)
+    assert small.load_time_s() < big.load_time_s()
+    assert big.load_time_s() > 100.0
+    # 70B cold start is around a minute on local SSD.
+    mid = perf_for(catalog, "Llama-3.3-70B")
+    assert 40.0 <= mid.load_time_s() <= 120.0
+
+
+def test_load_time_includes_coordination_overhead(catalog):
+    perf = perf_for(catalog, "Llama-3.3-70B")
+    assert perf.load_time_s(coordination_overhead_s=30.0) == pytest.approx(
+        perf.load_time_s() + 30.0
+    )
+
+
+def test_kv_capacity_positive_and_model_dependent(catalog):
+    big = perf_for(catalog, "Llama-3.3-70B")
+    small = perf_for(catalog, "Llama-3.1-8B")
+    assert big.kv_capacity_tokens() > 0
+    assert small.fits()
+    # The 8B model on 4 GPUs has far more KV headroom per token than 70B on 8.
+    assert small.kv_capacity_tokens() > 0
+
+
+def test_model_that_does_not_fit_reports_zero_capacity(catalog):
+    spec = catalog.get("Llama-3.1-405B")
+    perf = PerformanceModel(spec, num_gpus=8, gpu_spec=A100_40GB)
+    assert perf.kv_capacity_tokens() == 0
+    assert not perf.fits()
+
+
+def test_backend_factor_scales_throughput(catalog):
+    spec = catalog.get("Llama-3.3-70B")
+    base = PerformanceModel(spec, 8, A100_40GB, PerfModelConfig())
+    fast = PerformanceModel(spec, 8, A100_40GB, PerfModelConfig(backend_factor=1.6))
+    assert fast.decode_ceiling_tok_s == pytest.approx(1.6 * base.decode_ceiling_tok_s)
+
+
+def test_invalid_gpu_count_rejected(catalog):
+    spec = catalog.get("Llama-3.3-70B")
+    with pytest.raises(ValueError):
+        PerformanceModel(spec, 0, A100_40GB)

@@ -1,0 +1,392 @@
+"""Unit tests for the discrete-event kernel: events, timeouts, processes."""
+
+import pytest
+
+from repro.sim import (
+    AllOf,
+    AnyOf,
+    EmptySchedule,
+    Environment,
+    Event,
+    Interrupt,
+    Timeout,
+)
+
+
+def test_timeout_advances_clock():
+    env = Environment()
+
+    def proc(env):
+        yield env.timeout(5.0)
+        return env.now
+
+    p = env.process(proc(env))
+    env.run()
+    assert p.value == 5.0
+    assert env.now == 5.0
+
+
+def test_timeout_negative_delay_rejected():
+    env = Environment()
+    with pytest.raises(ValueError):
+        env.timeout(-1.0)
+
+
+def test_timeout_carries_value():
+    env = Environment()
+
+    def proc(env):
+        value = yield env.timeout(1.0, value="hello")
+        return value
+
+    p = env.process(proc(env))
+    env.run()
+    assert p.value == "hello"
+
+
+def test_event_succeed_and_value():
+    env = Environment()
+    ev = env.event()
+
+    def waiter(env, ev):
+        value = yield ev
+        return value
+
+    def trigger(env, ev):
+        yield env.timeout(2.0)
+        ev.succeed(42)
+
+    w = env.process(waiter(env, ev))
+    env.process(trigger(env, ev))
+    env.run()
+    assert w.value == 42
+    assert ev.ok
+    assert ev.processed
+
+
+def test_event_cannot_trigger_twice():
+    env = Environment()
+    ev = env.event()
+    ev.succeed(1)
+    with pytest.raises(RuntimeError):
+        ev.succeed(2)
+    with pytest.raises(RuntimeError):
+        ev.fail(RuntimeError("x"))
+
+
+def test_event_value_before_trigger_raises():
+    env = Environment()
+    ev = env.event()
+    with pytest.raises(RuntimeError):
+        _ = ev.value
+    with pytest.raises(RuntimeError):
+        _ = ev.ok
+
+
+def test_event_fail_propagates_into_process():
+    env = Environment()
+    ev = env.event()
+
+    class Boom(Exception):
+        pass
+
+    def waiter(env, ev):
+        try:
+            yield ev
+        except Boom:
+            return "caught"
+        return "missed"
+
+    def trigger(env, ev):
+        yield env.timeout(1.0)
+        ev.fail(Boom())
+
+    w = env.process(waiter(env, ev))
+    env.process(trigger(env, ev))
+    env.run()
+    assert w.value == "caught"
+
+
+def test_unhandled_failed_event_aborts_run():
+    env = Environment()
+    ev = env.event()
+
+    def trigger(env, ev):
+        yield env.timeout(1.0)
+        ev.fail(ValueError("unhandled"))
+
+    env.process(trigger(env, ev))
+    with pytest.raises(ValueError):
+        env.run()
+
+
+def test_process_return_value():
+    env = Environment()
+
+    def child(env):
+        yield env.timeout(1.0)
+        return "done"
+
+    def parent(env):
+        result = yield env.process(child(env))
+        return result + "!"
+
+    p = env.process(parent(env))
+    env.run()
+    assert p.value == "done!"
+
+
+def test_process_exception_propagates_to_parent():
+    env = Environment()
+
+    def child(env):
+        yield env.timeout(1.0)
+        raise RuntimeError("child failed")
+
+    def parent(env):
+        try:
+            yield env.process(child(env))
+        except RuntimeError as exc:
+            return str(exc)
+
+    p = env.process(parent(env))
+    env.run()
+    assert p.value == "child failed"
+
+
+def test_yield_non_event_fails_process():
+    env = Environment()
+
+    def bad(env):
+        yield 42
+
+    p = env.process(bad(env))
+    with pytest.raises(RuntimeError):
+        env.run()
+    assert not p.ok
+
+
+def test_process_non_generator_rejected():
+    env = Environment()
+    with pytest.raises(ValueError):
+        env.process(lambda: None)
+
+
+def test_interrupt_delivers_cause():
+    env = Environment()
+
+    def victim(env):
+        try:
+            yield env.timeout(100.0)
+        except Interrupt as interrupt:
+            return ("interrupted", interrupt.cause, env.now)
+
+    def interrupter(env, victim_proc):
+        yield env.timeout(3.0)
+        victim_proc.interrupt("stop now")
+
+    v = env.process(victim(env))
+    env.process(interrupter(env, v))
+    env.run()
+    assert v.value == ("interrupted", "stop now", 3.0)
+
+
+def test_interrupt_terminated_process_raises():
+    env = Environment()
+
+    def quick(env):
+        yield env.timeout(1.0)
+
+    p = env.process(quick(env))
+    env.run()
+    with pytest.raises(RuntimeError):
+        p.interrupt()
+
+
+def test_interrupted_process_can_continue_waiting():
+    env = Environment()
+    log = []
+
+    def victim(env):
+        target = env.timeout(10.0)
+        try:
+            yield target
+        except Interrupt:
+            log.append(("interrupted", env.now))
+        yield env.timeout(2.0)
+        log.append(("resumed", env.now))
+
+    def interrupter(env, proc):
+        yield env.timeout(4.0)
+        proc.interrupt()
+
+    v = env.process(victim(env))
+    env.process(interrupter(env, v))
+    env.run()
+    assert log == [("interrupted", 4.0), ("resumed", 6.0)]
+
+
+def test_self_interrupt_forbidden():
+    env = Environment()
+
+    def proc(env):
+        yield env.timeout(0)
+        env.active_process.interrupt()
+
+    p = env.process(proc(env))
+    with pytest.raises(RuntimeError):
+        env.run()
+    assert not p.ok
+
+
+def test_all_of_condition_waits_for_everything():
+    env = Environment()
+
+    def proc(env):
+        t1 = env.timeout(1.0, value="a")
+        t2 = env.timeout(5.0, value="b")
+        result = yield env.all_of([t1, t2])
+        return (env.now, result[t1], result[t2])
+
+    p = env.process(proc(env))
+    env.run()
+    assert p.value == (5.0, "a", "b")
+
+
+def test_any_of_condition_returns_first():
+    env = Environment()
+
+    def proc(env):
+        t1 = env.timeout(1.0, value="fast")
+        t2 = env.timeout(5.0, value="slow")
+        result = yield env.any_of([t1, t2])
+        return (env.now, t1 in result, t2 in result)
+
+    p = env.process(proc(env))
+    env.run()
+    assert p.value == (1.0, True, False)
+
+
+def test_condition_operators():
+    env = Environment()
+
+    def proc(env):
+        t1 = env.timeout(2.0, value=1)
+        t2 = env.timeout(3.0, value=2)
+        yield t1 & t2
+        return env.now
+
+    p = env.process(proc(env))
+    env.run()
+    assert p.value == 3.0
+
+
+def test_empty_all_of_triggers_immediately():
+    env = Environment()
+
+    def proc(env):
+        yield env.all_of([])
+        return env.now
+
+    p = env.process(proc(env))
+    env.run()
+    assert p.value == 0.0
+
+
+def test_condition_mixing_environments_rejected():
+    env1 = Environment()
+    env2 = Environment()
+    ev1 = env1.event()
+    ev2 = env2.event()
+    with pytest.raises(ValueError):
+        AllOf(env1, [ev1, ev2])
+
+
+def test_run_until_time():
+    env = Environment()
+    ticks = []
+
+    def ticker(env):
+        while True:
+            yield env.timeout(1.0)
+            ticks.append(env.now)
+
+    env.process(ticker(env))
+    env.run(until=5.5)
+    assert env.now == 5.5
+    assert ticks == [1.0, 2.0, 3.0, 4.0, 5.0]
+
+
+def test_run_until_past_time_rejected():
+    env = Environment()
+    env.run(until=1.0)
+    with pytest.raises(ValueError):
+        env.run(until=0.5)
+
+
+def test_run_until_event_returns_value():
+    env = Environment()
+
+    def proc(env):
+        yield env.timeout(2.0)
+        return "finished"
+
+    p = env.process(proc(env))
+    result = env.run(until=p)
+    assert result == "finished"
+    assert env.now == 2.0
+
+
+def test_run_until_untriggerable_event_raises():
+    env = Environment()
+    ev = env.event()
+    with pytest.raises(RuntimeError):
+        env.run(until=ev)
+
+
+def test_step_on_empty_schedule_raises():
+    env = Environment()
+    with pytest.raises(EmptySchedule):
+        env.step()
+
+
+def test_peek_reports_next_event_time():
+    env = Environment()
+    assert env.peek() == float("inf")
+    env.timeout(3.0)
+    env.timeout(1.0)
+    assert env.peek() == 1.0
+
+
+def test_deterministic_ordering_same_time():
+    """Events scheduled at the same instant run in insertion order."""
+    env = Environment()
+    order = []
+
+    def make(name):
+        def proc(env):
+            yield env.timeout(1.0)
+            order.append(name)
+
+        return proc
+
+    for name in ["a", "b", "c", "d"]:
+        env.process(make(name)(env))
+    env.run()
+    assert order == ["a", "b", "c", "d"]
+
+
+def test_already_processed_event_yield_continues_immediately():
+    env = Environment()
+
+    def proc(env):
+        ev = env.timeout(1.0, value="x")
+        yield env.timeout(2.0)
+        # ev has already fired and been processed; yielding it again must
+        # resume immediately with its value.
+        value = yield ev
+        return (value, env.now)
+
+    p = env.process(proc(env))
+    env.run()
+    assert p.value == ("x", 2.0)

@@ -1,0 +1,171 @@
+"""Property-based tests for the simulation kernel.
+
+These exercise the invariants every higher-level substrate relies on:
+deterministic ordering, monotonic time, resource conservation and store
+conservation under arbitrary programs.
+"""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.sim import Container, Environment, PriorityStore, PriorityItem, Resource, Store
+
+
+@settings(max_examples=60, deadline=None)
+@given(delays=st.lists(st.floats(min_value=0.0, max_value=1000.0), min_size=1, max_size=50))
+def test_property_events_processed_in_time_order(delays):
+    env = Environment()
+    fired = []
+
+    def waiter(env, delay, idx):
+        yield env.timeout(delay)
+        fired.append((env.now, idx))
+
+    for i, delay in enumerate(delays):
+        env.process(waiter(env, delay, i))
+    env.run()
+    times = [t for t, _ in fired]
+    assert times == sorted(times)
+    assert len(fired) == len(delays)
+    assert env.now == pytest.approx(max(delays))
+
+
+@settings(max_examples=60, deadline=None)
+@given(delays=st.lists(st.floats(min_value=0.0, max_value=100.0), min_size=2, max_size=30))
+def test_property_same_seed_same_schedule_is_deterministic(delays):
+    def run_once():
+        env = Environment()
+        order = []
+
+        def proc(env, d, i):
+            yield env.timeout(d)
+            order.append(i)
+
+        for i, d in enumerate(delays):
+            env.process(proc(env, d, i))
+        env.run()
+        return order
+
+    assert run_once() == run_once()
+
+
+@settings(max_examples=40, deadline=None)
+@given(
+    capacity=st.integers(min_value=1, max_value=8),
+    holds=st.lists(st.floats(min_value=0.1, max_value=20.0), min_size=1, max_size=40),
+)
+def test_property_resource_never_exceeds_capacity(capacity, holds):
+    env = Environment()
+    resource = Resource(env, capacity=capacity)
+    max_observed = {"users": 0}
+
+    def user(env, resource, hold):
+        with resource.request() as req:
+            yield req
+            max_observed["users"] = max(max_observed["users"], resource.count)
+            assert resource.count <= capacity
+            yield env.timeout(hold)
+
+    for hold in holds:
+        env.process(user(env, resource, hold))
+    env.run()
+    assert max_observed["users"] <= capacity
+    assert resource.count == 0
+    assert resource.queued == 0
+
+
+@settings(max_examples=40, deadline=None)
+@given(
+    puts=st.lists(st.integers(min_value=1, max_value=100), min_size=1, max_size=40),
+)
+def test_property_store_conserves_items(puts):
+    env = Environment()
+    store = Store(env)
+    received = []
+
+    def producer(env, store):
+        for item in puts:
+            yield store.put(item)
+            yield env.timeout(0.1)
+
+    def consumer(env, store):
+        for _ in range(len(puts)):
+            item = yield store.get()
+            received.append(item)
+
+    env.process(producer(env, store))
+    env.process(consumer(env, store))
+    env.run()
+    assert received == puts
+    assert len(store) == 0
+
+
+@settings(max_examples=40, deadline=None)
+@given(
+    items=st.lists(st.tuples(st.integers(min_value=0, max_value=100),
+                             st.integers(min_value=0, max_value=10**6)),
+                   min_size=1, max_size=40),
+)
+def test_property_priority_store_always_pops_minimum(items):
+    env = Environment()
+    store = PriorityStore(env)
+    popped = []
+
+    def producer(env, store):
+        for priority, value in items:
+            yield store.put(PriorityItem(priority, value))
+
+    def consumer(env, store):
+        yield env.timeout(1.0)
+        for _ in range(len(items)):
+            got = yield store.get()
+            popped.append(got.priority)
+
+    env.process(producer(env, store))
+    env.process(consumer(env, store))
+    env.run()
+    assert popped == sorted(p for p, _ in items)
+
+
+@settings(max_examples=40, deadline=None)
+@given(
+    amounts=st.lists(st.floats(min_value=0.5, max_value=50.0), min_size=1, max_size=30),
+)
+def test_property_container_levels_conserved(amounts):
+    env = Environment()
+    tank = Container(env, capacity=10**9, init=0.0)
+
+    def producer(env, tank):
+        for amount in amounts:
+            yield tank.put(amount)
+            yield env.timeout(0.01)
+
+    def consumer(env, tank):
+        for amount in amounts:
+            yield tank.get(amount)
+
+    env.process(producer(env, tank))
+    env.process(consumer(env, tank))
+    env.run()
+    assert tank.level == pytest.approx(0.0, abs=1e-9)
+
+
+@settings(max_examples=30, deadline=None)
+@given(n=st.integers(min_value=1, max_value=30), hold=st.floats(min_value=0.5, max_value=5.0))
+def test_property_fifo_resource_grants_in_arrival_order(n, hold):
+    env = Environment()
+    resource = Resource(env, capacity=1)
+    grant_order = []
+
+    def user(env, resource, idx):
+        yield env.timeout(idx * 0.001)  # strictly increasing arrival order
+        with resource.request() as req:
+            yield req
+            grant_order.append(idx)
+            yield env.timeout(hold)
+
+    for i in range(n):
+        env.process(user(env, resource, i))
+    env.run()
+    assert grant_order == list(range(n))

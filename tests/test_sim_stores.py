@@ -1,0 +1,152 @@
+"""Unit tests for Store, FilterStore and PriorityStore."""
+
+import pytest
+
+from repro.sim import Environment, FilterStore, PriorityItem, PriorityStore, Store
+
+
+def test_store_fifo_order():
+    env = Environment()
+    store = Store(env)
+    received = []
+
+    def producer(env, store):
+        for i in range(5):
+            yield store.put(i)
+            yield env.timeout(1.0)
+
+    def consumer(env, store):
+        for _ in range(5):
+            item = yield store.get()
+            received.append(item)
+
+    env.process(producer(env, store))
+    env.process(consumer(env, store))
+    env.run()
+    assert received == [0, 1, 2, 3, 4]
+
+
+def test_store_get_blocks_until_item_available():
+    env = Environment()
+    store = Store(env)
+    log = []
+
+    def consumer(env, store):
+        item = yield store.get()
+        log.append((item, env.now))
+
+    def producer(env, store):
+        yield env.timeout(7.0)
+        yield store.put("late")
+
+    env.process(consumer(env, store))
+    env.process(producer(env, store))
+    env.run()
+    assert log == [("late", 7.0)]
+
+
+def test_store_bounded_capacity_blocks_put():
+    env = Environment()
+    store = Store(env, capacity=1)
+    log = []
+
+    def producer(env, store):
+        yield store.put("a")
+        log.append(("a", env.now))
+        yield store.put("b")
+        log.append(("b", env.now))
+
+    def consumer(env, store):
+        yield env.timeout(5.0)
+        yield store.get()
+
+    env.process(producer(env, store))
+    env.process(consumer(env, store))
+    env.run()
+    assert log == [("a", 0.0), ("b", 5.0)]
+
+
+def test_store_invalid_capacity():
+    env = Environment()
+    with pytest.raises(ValueError):
+        Store(env, capacity=0)
+
+
+def test_filter_store_matches_predicate():
+    env = Environment()
+    store = FilterStore(env)
+    got = []
+
+    def producer(env, store):
+        for item in ["red", "green", "blue"]:
+            yield store.put(item)
+
+    def consumer(env, store):
+        item = yield store.get(lambda x: x.startswith("b"))
+        got.append(item)
+
+    env.process(producer(env, store))
+    env.process(consumer(env, store))
+    env.run()
+    assert got == ["blue"]
+    assert store.items == ["red", "green"]
+
+
+def test_filter_store_waits_for_matching_item():
+    env = Environment()
+    store = FilterStore(env)
+    got = []
+
+    def consumer(env, store):
+        item = yield store.get(lambda x: x == 42)
+        got.append((item, env.now))
+
+    def producer(env, store):
+        yield env.timeout(1.0)
+        yield store.put(1)
+        yield env.timeout(1.0)
+        yield store.put(42)
+
+    env.process(consumer(env, store))
+    env.process(producer(env, store))
+    env.run()
+    assert got == [(42, 2.0)]
+
+
+def test_priority_store_orders_items():
+    env = Environment()
+    store = PriorityStore(env)
+    got = []
+
+    def producer(env, store):
+        yield store.put(PriorityItem(5, "low"))
+        yield store.put(PriorityItem(1, "high"))
+        yield store.put(PriorityItem(3, "mid"))
+
+    def consumer(env, store):
+        yield env.timeout(1.0)
+        for _ in range(3):
+            item = yield store.get()
+            got.append(item.item)
+
+    env.process(producer(env, store))
+    env.process(consumer(env, store))
+    env.run()
+    assert got == ["high", "mid", "low"]
+
+
+def test_priority_item_comparison_and_repr():
+    a = PriorityItem(1, "a")
+    b = PriorityItem(2, "b")
+    assert a < b
+    assert a == PriorityItem(1, "a")
+    assert "PriorityItem" in repr(a)
+
+
+def test_store_len():
+    env = Environment()
+    store = Store(env)
+    store.put("x")
+    store.put("y")
+    env.run()
+    assert len(store) == 2
