@@ -40,8 +40,13 @@ def run_first_scenario(
     prewarm_instances: int = 1,
     num_nodes: int = 8,
     label: Optional[str] = None,
+    stream: bool = False,
 ) -> BenchmarkSummary:
-    """Benchmark the FIRST path (gateway → relay → endpoint → engine)."""
+    """Benchmark the FIRST path (gateway → relay → endpoint → engine).
+
+    With ``stream=True`` every request is sent with streaming enabled, so the
+    summary additionally carries gateway-observed TTFT/ITL percentiles.
+    """
     deployment = FIRSTDeployment.sophia_benchmark(
         model=model, max_instances=max_instances, num_nodes=num_nodes
     )
@@ -55,6 +60,9 @@ def run_first_scenario(
     deployment.env.run(until=warm)
 
     requests = ShareGPTWorkload().generate(model, num_requests=num_requests)
+    if stream:
+        for request in requests:
+            request.stream = True
     bench = BenchmarkClient(deployment.env, client, label="FIRST")
     proc = deployment.env.process(
         bench.run(requests, arrival=make_arrival(rate),

@@ -6,6 +6,12 @@ The package is organised as a set of substrates (``sim``, ``cluster``,
 machinery needed to regenerate every figure and table in the paper's
 evaluation (``workload``, ``metrics``, ``baselines``, ``webui``, ``rag``).
 
+The gateway speaks **API v2**: a composable middleware pipeline
+(Validation → Auth → RateLimit → ResponseCache → Accounting → Routing →
+Dispatch) over a typed request context, typed error envelopes on every
+OpenAI-style endpoint, and end-to-end streaming with gateway-observed
+TTFT/ITL — see :mod:`repro.gateway` for the stage diagram.
+
 Most users should start from :mod:`repro.core`:
 
 >>> from repro.core import FIRSTDeployment
@@ -15,6 +21,15 @@ Most users should start from :mod:`repro.core`:
 ...     "Qwen/Qwen2.5-7B-Instruct",
 ...     [{"role": "user", "content": "Hello"}],
 ... )
+
+Streaming responses arrive as OpenAI-style ``chat.completion.chunk`` dicts:
+
+>>> for chunk in client.chat_completion(
+...     "Qwen/Qwen2.5-7B-Instruct",
+...     [{"role": "user", "content": "Hello"}],
+...     stream=True,
+... ):
+...     print(chunk["choices"][0]["delta"].get("content", ""), end="")
 """
 
 from . import (

@@ -242,12 +242,18 @@ class FIRSTDeployment:
         )
 
     # ------------------------------------------------------------------ operations
-    def client(self, user: str, scopes: Optional[List[str]] = None) -> FIRSTClient:
-        """Authenticate ``user`` and return an OpenAI-style client bound to the gateway."""
+    def client(self, user: str, scopes: Optional[List[str]] = None,
+               raise_on_error: bool = True) -> FIRSTClient:
+        """Authenticate ``user`` and return an OpenAI-style client bound to the gateway.
+
+        ``raise_on_error=False`` makes the client return the gateway's typed
+        error envelopes (``{"error": {...}}``) instead of re-raising them as
+        :mod:`repro.common.errors` exceptions.
+        """
         if user not in self.auth.registered_users:
             self.auth.register_user(user)
         bundle = self.auth.issue_token(user, scopes)
-        return FIRSTClient(self, bundle)
+        return FIRSTClient(self, bundle, raise_on_error=raise_on_error)
 
     def add_user(self, user: str) -> None:
         self.auth.register_user(user)

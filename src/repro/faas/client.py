@@ -19,6 +19,7 @@ from typing import Any, Dict, Optional
 
 from ..auth import GlobusAuthLikeService
 from ..common import AuthenticationError
+from ..serving import STREAM_CHANNEL_KEY
 from ..sim import Environment
 from .relay import RelayService
 from .task import TaskFuture, TaskStatus
@@ -66,10 +67,19 @@ class ComputeClient:
         endpoint_id: str,
         payload: Dict[str, Any],
         submitter: str = "",
+        stream_channel: Optional[Any] = None,
     ) -> TaskFuture:
-        """Submit a function invocation; returns a :class:`TaskFuture`."""
+        """Submit a function invocation; returns a :class:`TaskFuture`.
+
+        ``stream_channel`` (a :class:`~repro.serving.StreamChannel`) rides in
+        the task payload down to the endpoint so the serving engine can
+        publish per-token events back to the submitter while the final
+        result still travels the normal future/polling path.
+        """
         payload = dict(payload)
         payload.setdefault("client_id", self.client_id)
+        if stream_channel is not None:
+            payload[STREAM_CHANNEL_KEY] = stream_channel
         future = self.relay.submit(
             function_id=function_id,
             endpoint_id=endpoint_id,

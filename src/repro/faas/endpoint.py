@@ -35,6 +35,7 @@ from ..serving import (
     OfflineBatchRunner,
     PerfModelConfig,
     PerformanceModel,
+    STREAM_CHANNEL_KEY,
     ServingInstance,
 )
 from ..sim import Environment, Event, Resource
@@ -484,6 +485,9 @@ class ComputeEndpoint:
 
     def _run_chat(self, record: TaskRecord):
         request = self._request_from_payload(record)
+        channel = record.payload.get(STREAM_CHANNEL_KEY)
+        if channel is not None and request.stream:
+            request.metadata[STREAM_CHANNEL_KEY] = channel
         pool = self._pool(request.model)
         instance, slot = yield from pool.acquire()
         try:

@@ -73,6 +73,17 @@ class FederationRegistry:
                 return entry
         raise NotFoundError(f"Unknown federated endpoint: {endpoint_id}")
 
+    def deregister(self, endpoint_id: str) -> FederatedEndpoint:
+        """Remove an endpoint from the federation (e.g. a facility going dark).
+
+        Consumers holding stale references — such as the gateway's routing
+        cache — must handle the resulting :class:`NotFoundError` from
+        :meth:`get` and re-route.
+        """
+        entry = self.get(endpoint_id)
+        self._entries.remove(entry)
+        return entry
+
     @property
     def clusters(self) -> List[str]:
         return [e.cluster for e in self._entries]

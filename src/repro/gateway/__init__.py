@@ -1,19 +1,56 @@
 """The FIRST Inference Gateway: OpenAI-compatible API over the compute layer.
 
-Implements §3.1 of the paper: authentication/authorization with token
-caching, request validation, rate limiting, response caching, conversion of
-user requests into compute tasks, federated routing, result retrieval
-(futures or legacy polling), PostgreSQL-style logging, batch jobs, the
-``/jobs`` model-status endpoint and the metrics dashboard.
+Implements §3.1 of the paper as **Gateway API v2** — a composable middleware
+pipeline over a typed request context::
+
+    request ──▶ Validation ─▶ Auth ─▶ RateLimit ─▶ ResponseCache
+                    │                                   │ (hit: short-circuit)
+                    ▼                                   ▼
+               Accounting ─▶ Routing ─▶ Dispatch ──▶ result
+
+* **Pipeline** (:mod:`.pipeline`, :mod:`.context`) — each concern of the
+  request path (validation, token introspection with caching, rate limiting,
+  response caching, logging/metrics, federated routing, compute dispatch) is
+  one :class:`Middleware` stage; deployments insert/replace stages through
+  ``GatewayConfig.middleware_factories`` without touching the application.
+* **Typed error envelopes** (:mod:`.responses`) — endpoints return OpenAI-style
+  ``{"error": {"type", "code", "message", "status"}}`` bodies mapped from
+  :mod:`repro.common.errors`; the client SDK can re-raise them as typed
+  exceptions.
+* **End-to-end streaming** — ``stream=True`` threads a
+  :class:`~repro.serving.StreamChannel` through the compute layer down to the
+  serving engine; the gateway timestamps each token (gateway-observed
+  TTFT/ITL) and relays OpenAI-style ``chat.completion.chunk`` events to the
+  caller::
+
+      for chunk in client.chat_completion(model, messages, stream=True):
+          print(chunk["choices"][0]["delta"].get("content", ""), end="")
+
+Plus batch jobs (§4.4), the ``/jobs`` model-status endpoint, PostgreSQL-style
+logging and the metrics dashboard.
 """
 
 from .app import InferenceGatewayAPI
 from .authlayer import GatewayAuthLayer
 from .cache import ResponseCache
 from .config import GatewayConfig, RetrievalMode, ServerMode
+from .context import GatewayStream, RequestContext
 from .database import BatchRecord, GatewayDatabase, RequestLogEntry
 from .metrics import GatewayMetrics, ModelUsage
+from .pipeline import (
+    AccountingMiddleware,
+    AuthMiddleware,
+    DispatchMiddleware,
+    GatewayPipeline,
+    Middleware,
+    RateLimitMiddleware,
+    ResponseCacheMiddleware,
+    RoutingMiddleware,
+    ValidationMiddleware,
+    default_middleware_factories,
+)
 from .ratelimit import SlidingWindowRateLimiter
+from .responses import error_envelope, exception_from_envelope, is_error_envelope
 
 __all__ = [
     "InferenceGatewayAPI",
@@ -28,4 +65,21 @@ __all__ = [
     "ModelUsage",
     "SlidingWindowRateLimiter",
     "ResponseCache",
+    # -- API v2 pipeline -------------------------------------------------------
+    "RequestContext",
+    "GatewayStream",
+    "GatewayPipeline",
+    "Middleware",
+    "ValidationMiddleware",
+    "AuthMiddleware",
+    "RateLimitMiddleware",
+    "ResponseCacheMiddleware",
+    "AccountingMiddleware",
+    "RoutingMiddleware",
+    "DispatchMiddleware",
+    "default_middleware_factories",
+    # -- error envelopes -------------------------------------------------------
+    "error_envelope",
+    "exception_from_envelope",
+    "is_error_envelope",
 ]

@@ -1,10 +1,23 @@
-"""The Inference Gateway API application.
+"""The Inference Gateway API application (Gateway API v2).
 
-This is the OpenAI-compatible entry point of FIRST (§3.1): it validates the
-caller's Globus-Auth-like token, validates the request body, applies rate
-limits and optional response caching, converts the request into a
-Globus-Compute-like task, picks a federated endpoint, retrieves the result
-(via futures or legacy polling) and logs everything to the database.
+This is the OpenAI-compatible entry point of FIRST (§3.1).  Since API v2 the
+request path is a composable middleware chain (see
+:mod:`repro.gateway.pipeline`) over a typed
+:class:`~repro.gateway.context.RequestContext`:
+
+    Validation → Auth → RateLimit → ResponseCache → Accounting → Routing → Dispatch
+
+``InferenceGatewayAPI`` itself is a thin assembly: it wires the substrates
+(auth layer, rate limiter, caches, database, metrics, compute client), builds
+the pipeline from ``GatewayConfig.middleware_factories`` and exposes the
+endpoints.  Failures surface as typed error envelopes
+(:mod:`repro.gateway.responses`) on the OpenAI-style endpoints and as typed
+exceptions on the event-based target protocol.
+
+Streaming (``stream=True``) is honoured end to end: the dispatch stage
+threads a stream channel down to the serving engine, timestamps every token
+at the gateway, and :meth:`submit_stream` hands callers a
+:class:`~repro.gateway.context.GatewayStream` of OpenAI-style events.
 
 All request-handling methods are simulation processes (generators): drive
 them with ``env.process(...)`` or through the client SDK in
@@ -16,17 +29,16 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Dict, List, Optional
 
-from ..auth import GlobusAuthLikeService, TokenInfo
+from ..auth import GlobusAuthLikeService
 from ..common import (
     IdGenerator,
     NotFoundError,
     ValidationError,
 )
-from ..faas import HANDLER_BATCH, HANDLER_CHAT, HANDLER_EMBEDDING, ComputeClient
+from ..faas import HANDLER_BATCH, ComputeClient
 from ..federation import FederationRouter
 from ..serving import (
     InferenceRequest,
-    InferenceResult,
     ModelCatalog,
     RequestKind,
     estimate_tokens,
@@ -35,10 +47,13 @@ from ..sim import Environment, Event, Resource
 from ..workload.batchfile import parse_batch_lines
 from .authlayer import GatewayAuthLayer
 from .cache import ResponseCache
-from .config import GatewayConfig, RetrievalMode, ServerMode
-from .database import BatchRecord, GatewayDatabase, RequestLogEntry
+from .config import GatewayConfig
+from .context import GatewayStream, RequestContext
+from .database import BatchRecord, GatewayDatabase
 from .metrics import GatewayMetrics
+from .pipeline import GatewayPipeline, default_middleware_factories
 from .ratelimit import SlidingWindowRateLimiter
+from .responses import error_envelope
 
 __all__ = ["InferenceGatewayAPI"]
 
@@ -93,31 +108,45 @@ class InferenceGatewayAPI:
         self.workers = Resource(env, capacity=self.config.worker_slots())
         self._routing_cache: Dict[str, _RoutingCacheEntry] = {}
 
+        factories = self.config.middleware_factories or default_middleware_factories()
+        self.pipeline = GatewayPipeline([factory(self) for factory in factories])
+        #: Context of the most recently finished pipeline run (observability).
+        self.last_context: Optional[RequestContext] = None
+
     # ------------------------------------------------------------------ helpers
-    def _function_for(self, handler: str) -> str:
+    def function_for(self, handler: str) -> str:
+        """Registered function id for a built-in handler name."""
         try:
             return self.function_ids[handler]
         except KeyError:
             raise NotFoundError(f"No registered function for handler {handler!r}") from None
 
-    def _worker_slot(self, duration_s: float):
+    def worker_slot(self, duration_s: float):
         """Hold a worker slot for ``duration_s`` of CPU work (async mode)."""
         with self.workers.request() as slot:
             yield slot
             if duration_s > 0:
                 yield self.env.timeout(duration_s)
 
-    def _route(self, model: str):
-        """Pick a federated endpoint for ``model`` (with a short-lived cache)."""
+    def route(self, model: str):
+        """Pick a federated endpoint for ``model`` (with a short-lived cache).
+
+        A cached decision may reference an endpoint that has since been
+        deregistered from the federation; the stale entry is evicted and a
+        fresh selection is made instead of surfacing the lookup error.
+        """
         cached = self._routing_cache.get(model)
         now = self.env.now
         if cached is not None and now - cached.cached_at < self.config.routing_cache_ttl_s:
-            return self.router.registry.get(cached.endpoint_id).endpoint
+            try:
+                return self.router.registry.get(cached.endpoint_id).endpoint
+            except NotFoundError:
+                self._routing_cache.pop(model, None)
         endpoint = yield from self.router.select(model)
         self._routing_cache[model] = _RoutingCacheEntry(endpoint.endpoint_id, now)
         return endpoint
 
-    def _validate_model(self, model: Optional[str]) -> str:
+    def validate_model(self, model: Optional[str]) -> str:
         if not model:
             raise ValidationError("Request body is missing 'model'")
         if model not in self.catalog:
@@ -132,105 +161,50 @@ class InferenceGatewayAPI:
         self.env.process(self._handle(access_token, request, done))
         return done
 
-    def _handle(self, access_token: str, request: InferenceRequest, done: Event):
-        cfg = self.config
-        model_name = request.model
-        sync_slot = None
+    def submit_stream(self, access_token: str, request: InferenceRequest) -> GatewayStream:
+        """Submit a streaming request; returns a :class:`GatewayStream`.
+
+        The stream's channel carries ``token`` events as the gateway observes
+        them and exactly one terminal ``done``/``error`` event; the stream's
+        ``done`` event resolves with the final result (or the typed failure).
+        """
+        request.stream = True
+        stream = GatewayStream(self.env, request=request)
+        self.env.process(self._handle(access_token, request, stream.done, egress=stream))
+        return stream
+
+    def _handle(self, access_token: str, request: InferenceRequest, done: Event,
+                egress: Optional[GatewayStream] = None):
+        """Pipeline driver: one simulation process per in-flight request."""
+        ctx = RequestContext(
+            access_token=access_token,
+            request=request,
+            started_at=self.env.now,
+            egress=egress,
+        )
         try:
-            model_name = self._validate_model(request.model)
-            request.model = model_name
-            if cfg.server_mode == ServerMode.SYNC_LEGACY:
-                # A synchronous worker blocks for the entire request.
-                sync_slot = self.workers.request()
-                yield sync_slot
-
-            # Ingress CPU work (parse/validate/convert).
-            if cfg.server_mode == ServerMode.ASYNC:
-                yield from self._worker_slot(cfg.ingress_processing_s)
-            else:
-                yield self.env.timeout(cfg.ingress_processing_s)
-
-            # Authentication + authorization (Optimization 2 path).
-            info = yield from self.auth_layer.authenticate(access_token)
-            self.auth_layer.authorize(info, f"model:{model_name}")
-            request.user = info.username
-            self.rate_limiter.check(info.username, self.env.now)
-
-            # Response cache.
-            cache_key = None
-            if self.response_cache is not None and request.kind != RequestKind.EMBEDDING:
-                cache_key = ResponseCache.key_for(
-                    model_name, request.prompt_text, request.max_output_tokens, request.params
+            yield from self.pipeline.run(ctx)
+            result = ctx.result
+            if result is None:
+                raise RuntimeError(
+                    "Gateway pipeline finished without a result "
+                    f"(stages: {self.pipeline.stage_names()})"
                 )
-                cached = self.response_cache.get(cache_key, self.env.now)
-                if cached is not None:
-                    self.metrics.request_started(model_name, request.prompt_tokens)
-                    self.metrics.request_completed(model_name, cached.output_tokens, 0.0)
-                    self._finish(done, cached, sync_slot)
-                    return
-
-            # Bookkeeping.
-            self.metrics.request_started(model_name, request.prompt_tokens)
-            entry = RequestLogEntry(
-                request_id=request.request_id,
-                user=info.username,
-                model=model_name,
-                endpoint="",
-                kind=request.kind.value,
-                submitted_at=self.env.now,
-                prompt_tokens=request.prompt_tokens,
-            )
-            if cfg.db_write_s > 0:
-                yield self.env.timeout(cfg.db_write_s)
-            self.db.log_request(entry)
-
-            # Routing + dispatch to the compute layer.
-            endpoint = yield from self._route(model_name)
-            entry.endpoint = endpoint.endpoint_id
-            handler = (
-                HANDLER_EMBEDDING if request.kind == RequestKind.EMBEDDING else HANDLER_CHAT
-            )
-            future = self.compute_client.submit(
-                self._function_for(handler),
-                endpoint.endpoint_id,
-                {"request": request},
-                submitter=info.username,
-            )
-            if cfg.retrieval_mode == RetrievalMode.FUTURES:
-                result: InferenceResult = yield from self.compute_client.wait_future(future)
-            else:
-                result = yield from self.compute_client.wait_polling(future)
-
-            # Egress CPU work (serialise the response).
-            if cfg.server_mode == ServerMode.ASYNC:
-                yield from self._worker_slot(cfg.egress_processing_s)
-            else:
-                yield self.env.timeout(cfg.egress_processing_s)
-
-            latency = self.env.now - entry.submitted_at
-            self.db.complete_request(entry, result.output_tokens, self.env.now,
-                                     status="completed" if result.success else "failed",
-                                     error=result.error)
-            if result.success:
-                self.metrics.request_completed(model_name, result.output_tokens, latency)
-            else:
-                self.metrics.request_failed(model_name)
-            if cache_key is not None and result.success:
-                self.response_cache.put(cache_key, result, self.env.now)
-            self._finish(done, result, sync_slot)
-        except Exception as exc:  # noqa: BLE001 - surfaced to the caller
-            self._classify_failure(exc, model_name)
-            if sync_slot is not None:
-                self.workers.release(sync_slot)
+            if egress is not None:
+                egress.finish(result)
+            if not done.triggered:
+                done.succeed(result)
+        except Exception as exc:  # noqa: BLE001 - surfaced to the caller, typed
+            self._classify_failure(exc, ctx.model_name or request.model)
+            if egress is not None:
+                egress.fail(exc)
             if not done.triggered:
                 done.fail(exc)
                 done.defuse()
-
-    def _finish(self, done: Event, result: InferenceResult, sync_slot) -> None:
-        if sync_slot is not None:
-            self.workers.release(sync_slot)
-        if not done.triggered:
-            done.succeed(result)
+        finally:
+            if ctx.sync_slot is not None:
+                self.workers.release(ctx.sync_slot)
+            self.last_context = ctx
 
     def _classify_failure(self, exc: Exception, model: str) -> None:
         from ..common import AuthenticationError, AuthorizationError, RateLimitError
@@ -244,25 +218,34 @@ class InferenceGatewayAPI:
 
     # ------------------------------------------------------------- OpenAI-style endpoints
     def chat_completions(self, access_token: str, body: dict):
-        """``POST /v1/chat/completions`` — returns the OpenAI response dict."""
-        request = self._request_from_body(body, RequestKind.CHAT_COMPLETION)
-        result = yield self.submit_request(access_token, request)
-        return result.to_openai_dict()
+        """``POST /v1/chat/completions`` — the OpenAI response dict, or a
+        typed error envelope (never a raw exception)."""
+        return (yield from self._openai_endpoint(access_token, body,
+                                                 RequestKind.CHAT_COMPLETION))
 
     def completions(self, access_token: str, body: dict):
         """``POST /v1/completions``."""
-        request = self._request_from_body(body, RequestKind.COMPLETION)
-        result = yield self.submit_request(access_token, request)
-        return result.to_openai_dict()
+        return (yield from self._openai_endpoint(access_token, body,
+                                                 RequestKind.COMPLETION))
 
     def embeddings(self, access_token: str, body: dict):
         """``POST /v1/embeddings``."""
-        request = self._request_from_body(body, RequestKind.EMBEDDING)
-        result = yield self.submit_request(access_token, request)
+        return (yield from self._openai_endpoint(access_token, body,
+                                                 RequestKind.EMBEDDING))
+
+    def _openai_endpoint(self, access_token: str, body: dict, kind: RequestKind):
+        try:
+            request = self.build_request(body, kind)
+            result = yield self.submit_request(access_token, request)
+        except Exception as exc:  # noqa: BLE001 - every failure becomes an envelope
+            # Typed errors map to their own envelope; anything else (e.g. a
+            # task failure surfacing as RuntimeError) becomes internal_error.
+            return error_envelope(exc)
         return result.to_openai_dict()
 
-    def _request_from_body(self, body: dict, kind: RequestKind) -> InferenceRequest:
-        model = self._validate_model(body.get("model"))
+    def build_request(self, body: dict, kind: RequestKind) -> InferenceRequest:
+        """Convert an OpenAI-style request body into a typed request."""
+        model = self.validate_model(body.get("model"))
         if kind == RequestKind.CHAT_COMPLETION:
             messages = body.get("messages")
             if not messages:
@@ -302,19 +285,27 @@ class InferenceGatewayAPI:
     def create_batch(self, access_token: str, input_jsonl: str,
                      endpoint_id: Optional[str] = None):
         """``POST /v1/batches`` — validate the JSONL input and launch a batch job."""
+        try:
+            record = yield from self._create_batch(access_token, input_jsonl, endpoint_id)
+        except Exception as exc:  # noqa: BLE001 - every failure becomes an envelope
+            return error_envelope(exc)
+        return record.to_dict()
+
+    def _create_batch(self, access_token: str, input_jsonl: str,
+                      endpoint_id: Optional[str]):
         info = yield from self.auth_layer.authenticate(access_token)
         requests = parse_batch_lines(input_jsonl, default_user=info.username)
         models = {r.model for r in requests}
         if len(models) != 1:
             raise ValidationError("All requests in a batch must target the same model")
-        model = self._validate_model(next(iter(models)))
+        model = self.validate_model(next(iter(models)))
         self.auth_layer.authorize(info, f"model:{model}")
         for request in requests:
             request.model = model
             request.user = info.username
 
         if endpoint_id is None:
-            endpoint = yield from self._route(model)
+            endpoint = yield from self.route(model)
         else:
             endpoint = self.router.registry.get(endpoint_id).endpoint
 
@@ -329,13 +320,13 @@ class InferenceGatewayAPI:
         )
         self.db.insert_batch(record)
         future = self.compute_client.submit(
-            self._function_for(HANDLER_BATCH),
+            self.function_for(HANDLER_BATCH),
             endpoint.endpoint_id,
             {"model": model, "requests": requests},
             submitter=info.username,
         )
         self.env.process(self._track_batch(record, future))
-        return record.to_dict()
+        return record
 
     def _track_batch(self, record: BatchRecord, future):
         try:
@@ -344,6 +335,10 @@ class InferenceGatewayAPI:
             record.status = "failed"
             record.error = str(exc)
             record.completed_at = self.env.now
+            record.completed_requests = 0
+            record.failed_requests = record.num_requests
+            record.output_tokens = 0
+            self.metrics.batch_failed(record.model, record.num_requests)
             return
         record.status = "completed"
         record.completed_at = self.env.now
@@ -351,15 +346,20 @@ class InferenceGatewayAPI:
         record.failed_requests = record.num_requests - run_result.num_completed
         record.output_tokens = run_result.total_output_tokens
         record.results = run_result.results
+        self.metrics.batch_completed(record.model, record.completed_requests,
+                                     record.output_tokens)
         user = self.db.upsert_user(record.user)
         user["tokens"] += record.output_tokens
 
     def get_batch(self, access_token: str, batch_id: str):
         """``GET /v1/batches/{id}``."""
-        yield from self.auth_layer.authenticate(access_token)
-        record = self.db.get_batch(batch_id)
-        if record is None:
-            raise NotFoundError(f"Unknown batch id {batch_id}")
+        try:
+            yield from self.auth_layer.authenticate(access_token)
+            record = self.db.get_batch(batch_id)
+            if record is None:
+                raise NotFoundError(f"Unknown batch id {batch_id}")
+        except Exception as exc:  # noqa: BLE001 - every failure becomes an envelope
+            return error_envelope(exc)
         return record.to_dict()
 
     # ------------------------------------------------------------- informational endpoints
@@ -388,6 +388,7 @@ class InferenceGatewayAPI:
                 "misses": self.auth_layer.cache_misses,
             },
             "queued_at_relay": self.compute_client.relay.queued_tasks,
+            "pipeline": self.pipeline.stage_names(),
         }
         if self.response_cache is not None:
             extra["response_cache"] = {

@@ -3,8 +3,8 @@
 from __future__ import annotations
 
 import enum
-from dataclasses import dataclass, field
-from typing import Optional
+from dataclasses import dataclass
+from typing import Callable, List, Optional
 
 __all__ = ["ServerMode", "RetrievalMode", "GatewayConfig"]
 
@@ -74,6 +74,20 @@ class GatewayConfig:
     #: Cache a routing decision per model for this long (avoids re-querying
     #: facility status for every request in a burst).
     routing_cache_ttl_s: float = 30.0
+
+    # -- streaming (API v2) -----------------------------------------------------------------
+    #: Per-chunk delivery latency of a stream event travelling engine → relay
+    #: → gateway over the open SSE connection.  Much smaller than the full
+    #: result-retrieval path, which is why streaming TTFT ≪ end-to-end latency.
+    stream_chunk_latency_s: float = 0.05
+
+    # -- middleware pipeline (API v2) --------------------------------------------------------
+    #: Ordered factories (``api -> Middleware``) building the request
+    #: pipeline.  ``None`` uses the stock chain from
+    #: :func:`repro.gateway.pipeline.default_middleware_factories`; deployments
+    #: can insert/replace/remove stages here without touching
+    #: :class:`~repro.gateway.app.InferenceGatewayAPI`.
+    middleware_factories: Optional[List[Callable]] = None
 
     # -- defaults for request validation ----------------------------------------------------------
     max_allowed_output_tokens: int = 8192

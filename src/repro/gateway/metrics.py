@@ -56,6 +56,8 @@ class GatewayMetrics:
         self.auth_failures = 0
         self.validation_failures = 0
         self.rate_limited = 0
+        self.batches_completed = 0
+        self.batches_failed = 0
 
     def _usage(self, model: str) -> ModelUsage:
         if model not in self.per_model:
@@ -80,6 +82,18 @@ class GatewayMetrics:
     def request_failed(self, model: str) -> None:
         self._usage(model).failed += 1
         self.in_flight = max(0, self.in_flight - 1)
+
+    # -- batch lifecycle hooks -----------------------------------------------------
+    # Batches are accounted separately from the interactive per-model
+    # counters (which track gateway requests): the dashboard surfaces them
+    # as ``batches_completed`` / ``batches_failed``.
+    def batch_completed(self, model: str, num_requests: int, output_tokens: int) -> None:
+        """Count a finished batch job."""
+        self.batches_completed += 1
+
+    def batch_failed(self, model: str, num_requests: int) -> None:
+        """Count a failed batch job (every request in it failed)."""
+        self.batches_failed += 1
 
     # -- aggregates --------------------------------------------------------------
     @property
@@ -107,6 +121,8 @@ class GatewayMetrics:
             "auth_failures": self.auth_failures,
             "validation_failures": self.validation_failures,
             "rate_limited": self.rate_limited,
+            "batches_completed": self.batches_completed,
+            "batches_failed": self.batches_failed,
             "models": [u.to_dict() for u in sorted(self.per_model.values(),
                                                    key=lambda u: u.model)],
         }

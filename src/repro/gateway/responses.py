@@ -1,0 +1,88 @@
+"""Typed error envelopes for the gateway's OpenAI-compatible endpoints.
+
+Gateway API v2 never leaks raw exceptions to HTTP callers: every failure in
+the request pipeline is mapped from the :mod:`repro.common.errors` hierarchy
+to an OpenAI-style error body::
+
+    {"error": {"type": "rate_limit_error",
+               "code": "rate_limit_exceeded",
+               "message": "...",
+               "status": 429}}
+
+:func:`error_envelope` performs the forward mapping; the client SDK uses
+:func:`exception_from_envelope` to optionally re-raise the typed exception
+on the caller's side, so both calling styles (dict-inspecting HTTP clients
+and exception-based Python code) are supported.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Tuple, Type
+
+from ..common import (
+    AuthenticationError,
+    AuthorizationError,
+    CapacityError,
+    ConfigurationError,
+    NotFoundError,
+    RateLimitError,
+    ReproError,
+    ValidationError,
+)
+
+__all__ = ["error_envelope", "exception_from_envelope", "is_error_envelope"]
+
+#: Exception class → (OpenAI-style error type, machine-readable code).
+_ERROR_TYPES: dict = {
+    AuthenticationError: ("authentication_error", "invalid_token"),
+    AuthorizationError: ("permission_error", "access_denied"),
+    ValidationError: ("invalid_request_error", "invalid_request"),
+    RateLimitError: ("rate_limit_error", "rate_limit_exceeded"),
+    NotFoundError: ("not_found_error", "not_found"),
+    CapacityError: ("overloaded_error", "no_capacity"),
+    ConfigurationError: ("api_error", "misconfigured"),
+}
+
+#: Error type string → exception class (for the client-side re-raise).
+_TYPE_TO_EXCEPTION: dict = {
+    type_name: cls for cls, (type_name, _code) in _ERROR_TYPES.items()
+}
+
+
+def _classify(exc: BaseException) -> Tuple[str, str, int]:
+    for cls in type(exc).__mro__:
+        if cls in _ERROR_TYPES:
+            type_name, code = _ERROR_TYPES[cls]
+            return type_name, code, getattr(cls, "status_code", 500)
+    return "internal_error", "internal_error", 500
+
+
+def error_envelope(exc: BaseException) -> dict:
+    """Map an exception onto the OpenAI-style ``{"error": {...}}`` body."""
+    type_name, code, status = _classify(exc)
+    return {
+        "error": {
+            "type": type_name,
+            "code": code,
+            "message": str(exc) or type(exc).__name__,
+            "status": status,
+        }
+    }
+
+
+def is_error_envelope(obj) -> bool:
+    """Whether ``obj`` is a response body produced by :func:`error_envelope`."""
+    return isinstance(obj, dict) and isinstance(obj.get("error"), dict)
+
+
+def exception_from_envelope(envelope: dict) -> ReproError:
+    """Reconstruct the typed exception an error envelope was mapped from.
+
+    Unknown types fall back to the :class:`ReproError` base class, so a
+    client talking to a newer gateway still raises something sensible.
+    """
+    body: Optional[dict] = envelope.get("error") if isinstance(envelope, dict) else None
+    if not isinstance(body, dict):
+        raise ValueError(f"Not an error envelope: {envelope!r}")
+    cls: Type[ReproError] = _TYPE_TO_EXCEPTION.get(body.get("type"), ReproError)
+    return cls(body.get("message", "gateway error"))

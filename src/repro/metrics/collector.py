@@ -21,6 +21,8 @@ class RequestRecord:
     success: bool = False
     error: Optional[str] = None
     first_token_time: Optional[float] = None
+    #: Per-token arrival times for streaming requests (gateway-observed).
+    token_times: Optional[List[float]] = None
     metadata: Dict = field(default_factory=dict)
 
     @property
@@ -35,6 +37,14 @@ class RequestRecord:
         if self.first_token_time is None:
             return None
         return self.first_token_time - self.send_time
+
+    @property
+    def inter_token_latencies_s(self) -> List[float]:
+        """Gaps between consecutive token arrivals (ITL; streaming only)."""
+        if not self.token_times or len(self.token_times) < 2:
+            return []
+        times = self.token_times
+        return [b - a for a, b in zip(times, times[1:])]
 
 
 class MetricsCollector:

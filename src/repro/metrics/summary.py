@@ -41,6 +41,8 @@ class BenchmarkSummary:
     mean_latency_s: float
     p99_latency_s: float
     median_ttft_s: Optional[float] = None
+    #: Median inter-token latency (streaming runs only).
+    median_itl_s: Optional[float] = None
     total_output_tokens: int = 0
     total_prompt_tokens: int = 0
     extras: Dict = field(default_factory=dict)
@@ -57,6 +59,7 @@ class BenchmarkSummary:
             "mean_latency_s": round(self.mean_latency_s, 2),
             "p99_latency_s": round(self.p99_latency_s, 2),
             "median_ttft_s": None if self.median_ttft_s is None else round(self.median_ttft_s, 2),
+            "median_itl_s": None if self.median_itl_s is None else round(self.median_itl_s, 4),
             "total_output_tokens": self.total_output_tokens,
             "total_prompt_tokens": self.total_prompt_tokens,
             **self.extras,
@@ -90,6 +93,7 @@ def summarize(
     successful = [r for r in records if r.success and r.completion_time is not None]
     latencies = [r.latency_s for r in successful]
     ttfts = [r.time_to_first_token_s for r in successful if r.time_to_first_token_s is not None]
+    itls = [itl for r in successful for itl in r.inter_token_latencies_s]
     output_tokens = sum(r.output_tokens for r in successful)
     prompt_tokens = sum(r.prompt_tokens for r in successful)
 
@@ -115,6 +119,7 @@ def summarize(
         mean_latency_s=float(np.mean(latencies)) if latencies else 0.0,
         p99_latency_s=percentile(latencies, 99),
         median_ttft_s=percentile(ttfts, 50) if ttfts else None,
+        median_itl_s=percentile(itls, 50) if itls else None,
         total_output_tokens=output_tokens,
         total_prompt_tokens=prompt_tokens,
     )

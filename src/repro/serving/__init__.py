@@ -16,6 +16,7 @@ from .kvcache import KVCacheConfig, KVCacheManager
 from .models import ModelCatalog, ModelKind, ModelSpec, default_catalog
 from .offline import OfflineBatchRunner, OfflineRunResult
 from .request import InferenceRequest, InferenceResult, RequestKind
+from .stream import STREAM_CHANNEL_KEY, StreamChannel, StreamEvent
 from .textgen import SyntheticTextGenerator, estimate_tokens
 from .timing import PerfModelConfig, PerformanceModel
 
@@ -45,6 +46,9 @@ __all__ = [
     "InferenceRequest",
     "InferenceResult",
     "RequestKind",
+    "StreamChannel",
+    "StreamEvent",
+    "STREAM_CHANNEL_KEY",
     "SyntheticTextGenerator",
     "estimate_tokens",
     "BackendSpec",

@@ -16,6 +16,7 @@ from typing import Dict, List, Optional
 from ..sim import Environment, Event
 from .kvcache import KVCacheConfig, KVCacheManager
 from .request import InferenceRequest, InferenceResult, RequestKind
+from .stream import STREAM_CHANNEL_KEY, StreamEvent
 from .textgen import SyntheticTextGenerator
 from .timing import PerformanceModel
 
@@ -73,6 +74,9 @@ class _Sequence:
         "admit_time",
         "first_token_time",
         "prefilled",
+        "stream_channel",
+        "streamed",
+        "stream_words",
     )
 
     def __init__(self, request: InferenceRequest, event: Event, enqueue_time: float):
@@ -83,6 +87,15 @@ class _Sequence:
         self.admit_time: Optional[float] = None
         self.first_token_time: Optional[float] = None
         self.prefilled = False
+        #: Stream channel carried in the request metadata (``stream=True`` only).
+        self.stream_channel = (
+            request.metadata.get(STREAM_CHANNEL_KEY) if request.stream else None
+        )
+        #: High-water mark of tokens already streamed, so a preempted sequence
+        #: that recomputes from scratch does not re-emit chunks the consumer
+        #: has already seen.
+        self.streamed = 0
+        self.stream_words = None
 
     @property
     def seq_id(self) -> str:
@@ -144,14 +157,16 @@ class ContinuousBatchingEngine:
     def stop(self) -> None:
         """Stop accepting requests and fail anything still queued or running."""
         self._stopped = True
+        self.stats.failed += len(self.waiting) + len(self.running)
         for seq in self.waiting + self.running:
             if not seq.event.triggered:
                 seq.event.succeed(self._make_result(seq, success=False,
                                                     error="engine stopped"))
+            if seq.stream_channel is not None:
+                seq.stream_channel.close()
             self.kv.free(seq.seq_id)
         self.waiting.clear()
         self.running.clear()
-        self.stats.failed += 0
         self._notify()
 
     @property
@@ -239,6 +254,8 @@ class ContinuousBatchingEngine:
             self.stats.output_tokens += 1
             if seq.first_token_time is None:
                 seq.first_token_time = now
+            if seq.stream_channel is not None and seq.generated > seq.streamed:
+                self._publish_token(seq, now)
             if seq.generated >= seq.target_tokens:
                 finished.append(seq)
                 continue
@@ -248,7 +265,25 @@ class ContinuousBatchingEngine:
             self.running.remove(seq)
             self.kv.free(seq.seq_id)
             self.stats.completed += 1
+            if seq.stream_channel is not None:
+                seq.stream_channel.publish(
+                    StreamEvent(kind="done", index=seq.generated, time=now,
+                                finish_reason="stop")
+                )
+                seq.stream_channel.close()
             seq.event.succeed(self._make_result(seq, success=True))
+
+    def _publish_token(self, seq: _Sequence, now: float) -> None:
+        """Emit one per-token stream event at the engine's iteration timing."""
+        text = ""
+        if self.config.generate_text and seq.request.kind != RequestKind.EMBEDDING:
+            if seq.stream_words is None:
+                seq.stream_words = self.text_generator.stream_pieces(seq.request)
+            text = next(seq.stream_words)
+        seq.streamed = seq.generated
+        seq.stream_channel.publish(
+            StreamEvent(kind="token", index=seq.generated - 1, time=now, text=text)
+        )
 
     def _handle_kv_pressure(self, needy: _Sequence) -> None:
         """Preempt the most recently admitted other sequence to free blocks."""
@@ -258,6 +293,8 @@ class ContinuousBatchingEngine:
             self.running.remove(needy)
             self.kv.free(needy.seq_id)
             self.stats.failed += 1
+            if needy.stream_channel is not None:
+                needy.stream_channel.close()
             needy.event.succeed(self._make_result(needy, success=False,
                                                   error="KV cache exhausted"))
             return
@@ -276,6 +313,9 @@ class ContinuousBatchingEngine:
         text = ""
         if success and self.config.generate_text and request.kind != RequestKind.EMBEDDING:
             text = self.text_generator.generate(request, seq.generated)
+        metadata = dict(request.metadata)
+        # The stream channel is transport plumbing, not response metadata.
+        metadata.pop(STREAM_CHANNEL_KEY, None)
         return InferenceResult(
             request_id=request.request_id,
             model=request.model,
@@ -291,5 +331,5 @@ class ContinuousBatchingEngine:
             completion_time=self.env.now,
             instance_id=self.instance_id,
             cluster=self.cluster,
-            metadata=dict(request.metadata),
+            metadata=metadata,
         )

@@ -87,6 +87,35 @@ class InferenceResult:
             return None
         return self.first_token_time - self.engine_enqueue_time
 
+    def to_openai_chunk(self, delta: Optional[dict] = None,
+                        finish_reason: Optional[str] = None,
+                        include_usage: bool = False) -> dict:
+        """Render one OpenAI-style ``chat.completion.chunk`` frame.
+
+        Used by the streaming path: intermediate chunks carry a ``delta``
+        with content, the final chunk carries ``finish_reason`` and (when
+        ``include_usage``) the token usage block.
+        """
+        chunk = {
+            "id": self.request_id,
+            "object": "chat.completion.chunk",
+            "model": self.model,
+            "choices": [
+                {
+                    "index": 0,
+                    "delta": delta if delta is not None else {},
+                    "finish_reason": finish_reason,
+                }
+            ],
+        }
+        if include_usage:
+            chunk["usage"] = {
+                "prompt_tokens": self.prompt_tokens,
+                "completion_tokens": self.output_tokens,
+                "total_tokens": self.total_tokens,
+            }
+        return chunk
+
     def to_openai_dict(self) -> dict:
         """Render as an OpenAI-style response body."""
         if self.embedding is not None:

@@ -10,6 +10,7 @@ id so repeated runs are stable.
 from __future__ import annotations
 
 import hashlib
+from itertools import islice
 from typing import List, Optional
 
 from .request import InferenceRequest
@@ -40,16 +41,33 @@ class SyntheticTextGenerator:
     def __init__(self, vocabulary: Optional[List[str]] = None):
         self.vocabulary = vocabulary or _VOCABULARY
 
+    def _word_stream(self, request: InferenceRequest):
+        """Infinite deterministic word stream seeded by the request."""
+        seed_material = f"{request.request_id}:{request.model}:{request.prompt_text[:64]}"
+        digest = hashlib.sha256(seed_material.encode()).digest()
+        vocab = self.vocabulary
+        state = int.from_bytes(digest[:8], "little")
+        while True:
+            state = (state * 6364136223846793005 + 1442695040888963407) & 0xFFFFFFFFFFFFFFFF
+            yield vocab[state % len(vocab)]
+
     def generate(self, request: InferenceRequest, output_tokens: int) -> str:
         """Produce ``output_tokens`` tokens of text for ``request``."""
         n_words = max(1, int(output_tokens * _WORDS_PER_TOKEN))
-        seed_material = f"{request.request_id}:{request.model}:{request.prompt_text[:64]}"
-        digest = hashlib.sha256(seed_material.encode()).digest()
-        words = []
-        vocab = self.vocabulary
-        state = int.from_bytes(digest[:8], "little")
-        for i in range(n_words):
-            state = (state * 6364136223846793005 + 1442695040888963407) & 0xFFFFFFFFFFFFFFFF
-            words.append(vocab[state % len(vocab)])
-        prefix = f"[{request.model}] "
-        return prefix + " ".join(words)
+        words = islice(self._word_stream(request), n_words)
+        return f"[{request.model}] " + " ".join(words)
+
+    def stream_pieces(self, request: InferenceRequest):
+        """Infinite generator of per-token text pieces for streaming responses.
+
+        Draws from the same seeded word stream as :meth:`generate`, so a
+        streamed response reads like (a slightly longer form of) the final
+        text.  The first piece carries the ``[model]`` prefix.
+        """
+        first = True
+        for word in self._word_stream(request):
+            if first:
+                first = False
+                yield f"[{request.model}] {word}"
+            else:
+                yield f" {word}"

@@ -80,6 +80,12 @@ class BenchmarkClient:
             first_token = getattr(result, "first_token_time", None)
             if first_token:
                 record.first_token_time = first_token
+            # Streaming requests: prefer the gateway-observed token timeline
+            # (engine timing + per-chunk delivery) over the engine-side TTFT.
+            token_times = getattr(result, "metadata", {}).get("gateway_token_times")
+            if token_times:
+                record.token_times = list(token_times)
+                record.first_token_time = token_times[0]
             record.error = getattr(result, "error", None)
         self.collector.record(record)
         done.succeed()

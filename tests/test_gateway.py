@@ -1,5 +1,6 @@
-"""Tests for the Inference Gateway: auth layer, rate limiting, caching,
-OpenAI endpoints, batches, jobs, dashboard and the optimization toggles."""
+"""Tests for the Inference Gateway: the API v2 middleware pipeline, typed
+error envelopes, streaming, auth layer, rate limiting, caching, OpenAI
+endpoints, batches, jobs, dashboard and the optimization toggles."""
 
 import pytest
 
@@ -17,7 +18,14 @@ from repro.core import (
     FIRSTDeployment,
     ModelDeploymentSpec,
 )
-from repro.gateway import GatewayConfig, RetrievalMode, ServerMode, SlidingWindowRateLimiter
+from repro.gateway import (
+    GatewayConfig,
+    Middleware,
+    RetrievalMode,
+    ServerMode,
+    SlidingWindowRateLimiter,
+    default_middleware_factories,
+)
 from repro.serving import InferenceRequest
 from repro.workload import ShareGPTWorkload, requests_to_jsonl
 
@@ -320,3 +328,198 @@ def test_polling_retrieval_mode_adds_latency():
     lat_futures = one_latency(fut_deploy)
     lat_polling = one_latency(poll_deploy)
     assert lat_polling > lat_futures
+
+
+# -- API v2: middleware pipeline ----------------------------------------------------------
+
+DEFAULT_STAGES = [
+    "validation", "auth", "rate-limit", "response-cache",
+    "accounting", "routing", "dispatch",
+]
+
+
+def test_default_pipeline_stage_order(warm_deployment):
+    assert warm_deployment.gateway.pipeline.stage_names() == DEFAULT_STAGES
+
+
+def test_successful_request_traverses_every_stage(warm_deployment):
+    client = warm_deployment.client("researcher@anl.gov")
+    client.chat_completion(MODEL_7B, [{"role": "user", "content": "trace me"}], max_tokens=8)
+    assert warm_deployment.gateway.last_context.trace == DEFAULT_STAGES
+
+
+def test_custom_middleware_via_gateway_config():
+    """A deployment inserts its own stage without touching InferenceGatewayAPI."""
+
+    class TaggingMiddleware(Middleware):
+        name = "tagging"
+
+        def process(self, ctx, call_next):
+            ctx.request.metadata["tagged_by"] = "tagging-middleware"
+            yield from call_next(ctx)
+
+    factories = default_middleware_factories()
+    factories.insert(0, TaggingMiddleware)
+    deployment = small_deployment(
+        gateway_config=GatewayConfig(middleware_factories=factories),
+        generate_text=False,
+    )
+    deployment.warm_up(MODEL_7B)
+    client = deployment.client("researcher@anl.gov")
+    ev = client.submit(
+        InferenceRequest("tagged-0", MODEL_7B, prompt_tokens=20, max_output_tokens=8)
+    )
+    result = deployment.env.run(until=ev)
+    # The tag travelled through the whole stack and back on the result.
+    assert result.metadata["tagged_by"] == "tagging-middleware"
+    assert deployment.gateway.last_context.trace == ["tagging"] + DEFAULT_STAGES
+
+
+def test_rate_limit_trip_skips_downstream_stages():
+    deployment = small_deployment(
+        gateway_config=GatewayConfig(rate_limit_requests=1, rate_limit_window_s=60.0)
+    )
+    deployment.warm_up(MODEL_7B)
+    client = deployment.client("researcher@anl.gov")
+    client.chat_completion(MODEL_7B, [{"role": "user", "content": "1"}], max_tokens=8)
+    with pytest.raises(RateLimitError):
+        client.chat_completion(MODEL_7B, [{"role": "user", "content": "2"}], max_tokens=8)
+    trace = deployment.gateway.last_context.trace
+    assert trace == ["validation", "auth", "rate-limit"]
+    # The envelope form carries the right type/status.
+    lenient = deployment.client("researcher@anl.gov", raise_on_error=False)
+    envelope = lenient.chat_completion(MODEL_7B, [{"role": "user", "content": "3"}],
+                                       max_tokens=8)
+    assert envelope["error"]["type"] == "rate_limit_error"
+    assert envelope["error"]["status"] == 429
+
+
+def test_cache_hit_short_circuits_pipeline():
+    deployment = small_deployment(gateway_config=GatewayConfig(enable_response_cache=True))
+    deployment.warm_up(MODEL_7B)
+    client = deployment.client("researcher@anl.gov")
+    msg = [{"role": "user", "content": "short circuit"}]
+    client.chat_completion(MODEL_7B, msg, max_tokens=16)
+    client.chat_completion(MODEL_7B, msg, max_tokens=16)
+    ctx = deployment.gateway.last_context
+    assert ctx.cache_hit
+    assert ctx.trace == ["validation", "auth", "rate-limit", "response-cache"]
+    assert "dispatch" not in ctx.trace
+
+
+# -- API v2: typed error envelopes ---------------------------------------------------------
+
+def test_unknown_model_error_envelope(warm_deployment):
+    client = warm_deployment.client("researcher@anl.gov", raise_on_error=False)
+    envelope = client.chat_completion("no-such-model", [{"role": "user", "content": "hi"}])
+    assert envelope["error"] == {
+        "type": "invalid_request_error",
+        "code": "invalid_request",
+        "message": "Unknown model: no-such-model",
+        "status": 422,
+    }
+
+
+def test_expired_token_error_envelope(warm_deployment):
+    deployment = warm_deployment
+    bundle = deployment.auth.issue_token("researcher@anl.gov")
+    deployment.run_for(48 * 3600.0 + 10.0)  # past the 48 h token lifetime
+    body = {"model": MODEL_7B, "messages": [{"role": "user", "content": "hi"}],
+            "max_tokens": 8}
+    proc = deployment.env.process(
+        deployment.gateway.chat_completions(bundle.access_token, body)
+    )
+    envelope = deployment.env.run(until=proc)
+    assert envelope["error"]["type"] == "authentication_error"
+    assert envelope["error"]["code"] == "invalid_token"
+    assert envelope["error"]["status"] == 401
+    # The failure never reached the stages past auth.
+    assert deployment.gateway.last_context.trace == ["validation", "auth"]
+
+
+# -- API v2: end-to-end streaming ----------------------------------------------------------
+
+def test_streaming_chat_completion_yields_openai_chunks(warm_deployment):
+    client = warm_deployment.client("researcher@anl.gov")
+    chunks = list(client.chat_completion(
+        MODEL_7B, [{"role": "user", "content": "stream please"}],
+        max_tokens=12, stream=True,
+    ))
+    assert len(chunks) >= 2
+    assert all(c["object"] == "chat.completion.chunk" for c in chunks)
+    # First chunk announces the assistant role; last carries the finish reason.
+    assert chunks[0]["choices"][0]["delta"]["role"] == "assistant"
+    assert chunks[-1]["choices"][0]["finish_reason"] == "stop"
+    assert chunks[-1]["usage"]["completion_tokens"] == 12
+    # One content chunk per generated token.
+    content_chunks = [c for c in chunks[1:-1] if c["choices"][0]["delta"].get("content")]
+    assert len(content_chunks) == 12
+
+
+def test_streaming_records_gateway_observed_token_times(warm_deployment):
+    deployment = warm_deployment
+    client = deployment.client("researcher@anl.gov")
+    request = InferenceRequest("stream-typed-0", MODEL_7B, prompt_tokens=50,
+                               max_output_tokens=10, stream=True)
+    send_time = deployment.now
+    ev = client.submit(request)
+    result = deployment.env.run(until=ev)
+    times = result.metadata["gateway_token_times"]
+    assert len(times) == 10
+    assert times == sorted(times)
+    # Gateway-observed TTFT is after send and before the full response lands.
+    assert send_time < result.metadata["gateway_first_token_time"] < deployment.now
+
+
+def test_streaming_not_supported_for_embeddings(warm_deployment):
+    from repro.serving import RequestKind
+
+    deployment = warm_deployment
+    request = InferenceRequest("stream-embed-0", EMBED, prompt_tokens=10,
+                               max_output_tokens=1, kind=RequestKind.EMBEDDING,
+                               stream=True)
+    client = deployment.client("researcher@anl.gov")
+    ev = client.submit(request)
+    with pytest.raises(ValidationError):
+        deployment.env.run(until=ev)
+
+
+def test_streaming_error_is_raised_from_iterator(warm_deployment):
+    client = warm_deployment.client("researcher@anl.gov")
+    with pytest.raises(ValidationError):
+        list(client.chat_completion("no-such-model", [{"role": "user", "content": "x"}],
+                                    stream=True))
+
+
+# -- routing-cache staleness ----------------------------------------------------------------
+
+def test_stale_routing_cache_falls_back_to_fresh_selection():
+    """A cached endpoint that left the federation is evicted, not an error."""
+    config = DeploymentConfig(
+        clusters=[
+            ClusterDeploymentSpec(
+                name="c1", kind="small", num_nodes=2, scheduler="local",
+                models=[ModelDeploymentSpec(MODEL_7B, max_parallel_tasks=32)],
+            ),
+            ClusterDeploymentSpec(
+                name="c2", kind="small", num_nodes=2, scheduler="local",
+                models=[ModelDeploymentSpec(MODEL_7B, max_parallel_tasks=32)],
+            ),
+        ],
+        users=["researcher@anl.gov"],
+        generate_text=False,
+    )
+    deployment = FIRSTDeployment(config)
+    deployment.warm_up(MODEL_7B)  # warms an instance on the first endpoint
+    client = deployment.client("researcher@anl.gov")
+    client.chat_completion(MODEL_7B, [{"role": "user", "content": "a"}], max_tokens=8)
+    cached_id = deployment.gateway._routing_cache[MODEL_7B].endpoint_id
+    assert cached_id == "ep-c1"
+
+    deployment.registry.deregister("ep-c1")
+    # Well inside the routing-cache TTL: the stale entry must be evicted and
+    # the request re-routed to the surviving endpoint instead of crashing.
+    response = client.chat_completion(MODEL_7B, [{"role": "user", "content": "b"}],
+                                      max_tokens=8)
+    assert response["usage"]["completion_tokens"] == 8
+    assert deployment.gateway._routing_cache[MODEL_7B].endpoint_id == "ep-c2"

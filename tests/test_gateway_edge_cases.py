@@ -91,13 +91,18 @@ def test_completions_requires_prompt(deployment):
 
 
 def test_embeddings_requires_input(deployment):
+    """Driving the endpoint directly returns a typed envelope, not an exception."""
     client = deployment.client("researcher@anl.gov")
     gateway = deployment.gateway
     proc = deployment.env.process(
         gateway.embeddings(client.access_token, {"model": EMBED, "input": ""})
     )
+    response = deployment.env.run(until=proc)
+    assert response["error"]["type"] == "invalid_request_error"
+    assert response["error"]["status"] == 422
+    # The client SDK re-raises the envelope as the typed exception.
     with pytest.raises(ValidationError):
-        deployment.env.run(until=proc)
+        client.embedding(EMBED, "")
 
 
 def test_prompt_tokens_hint_is_respected(deployment):
@@ -179,6 +184,102 @@ def test_unknown_endpoint_in_batch_request_raises(deployment):
     requests = ShareGPTWorkload().generate(MODEL_7B, num_requests=2, id_prefix="noep")
     with pytest.raises(NotFoundError):
         client.create_batch(requests_to_jsonl(requests), endpoint_id="ep-missing")
+
+
+def test_failed_batch_records_counts_and_dashboard_failure():
+    """A batch whose compute task fails records full failure accounting."""
+    from repro.workload import ShareGPTWorkload, requests_to_jsonl
+
+    config = DeploymentConfig(
+        clusters=[
+            ClusterDeploymentSpec(
+                name="c1", kind="small", num_nodes=2, scheduler="local",
+                models=[ModelDeploymentSpec(MODEL_7B, max_parallel_tasks=32)],
+            ),
+            ClusterDeploymentSpec(
+                name="c2", kind="small", num_nodes=2, scheduler="local",
+                models=[ModelDeploymentSpec(EMBED, backend="infinity")],
+            ),
+        ],
+        users=["researcher@anl.gov"],
+        generate_text=False,
+    )
+    d = FIRSTDeployment(config)
+    client = d.client("researcher@anl.gov")
+    requests = ShareGPTWorkload().generate(MODEL_7B, num_requests=5, id_prefix="failbatch")
+    # Force the batch onto the endpoint that does not host the model: the
+    # compute task fails at the endpoint and the future is rejected.
+    batch = client.create_batch(requests_to_jsonl(requests), endpoint_id="ep-c2")
+    final = client.wait_for_batch(batch["id"], poll_every_s=10.0)
+    assert final["status"] == "failed"
+    assert final["error"]
+    record = d.database.get_batch(batch["id"])
+    assert record.completed_requests == 0
+    assert record.failed_requests == 5
+    assert record.output_tokens == 0
+    assert record.completed_at is not None
+    assert d.gateway.metrics.batches_failed == 1
+    assert d.gateway.dashboard()["batches_failed"] == 1
+
+
+def test_completed_batch_counts_in_dashboard(deployment):
+    from repro.workload import ShareGPTWorkload, requests_to_jsonl
+
+    client = deployment.client("researcher@anl.gov")
+    before = deployment.gateway.metrics.batches_completed
+    requests = ShareGPTWorkload().generate(MODEL_7B, num_requests=4, id_prefix="okbatch")
+    batch = client.create_batch(requests_to_jsonl(requests))
+    client.wait_for_batch(batch["id"], poll_every_s=30.0)
+    assert deployment.gateway.metrics.batches_completed == before + 1
+    assert deployment.gateway.dashboard()["batches_completed"] == before + 1
+
+
+# -- stream channel unit behaviour ---------------------------------------------------------
+
+def test_stream_channel_fifo_and_close():
+    from repro.serving import StreamChannel
+
+    env = Environment()
+    channel = StreamChannel(env)
+    channel.publish("a")
+    channel.publish("b")
+    channel.close()
+    got = []
+
+    def consume():
+        while True:
+            item = yield channel.get()
+            if item is None:
+                return got
+            got.append(item)
+
+    proc = env.process(consume())
+    assert env.run(until=proc) == ["a", "b"]
+    # Closed channels keep resolving to None and drop further publishes.
+    channel.publish("c")
+    assert env.run(until=channel.get()) is None
+
+
+def test_stream_channel_delivery_latency_preserves_order():
+    from repro.serving import StreamChannel
+
+    env = Environment()
+    channel = StreamChannel(env, delivery_latency_s=0.5)
+    arrivals = []
+
+    def consume():
+        while True:
+            item = yield channel.get()
+            if item is None:
+                return
+            arrivals.append((item, env.now))
+
+    env.process(consume())
+    channel.publish(1)
+    channel.publish(2)
+    channel.close()
+    env.run()
+    assert arrivals == [(1, 0.5), (2, 0.5)]
 
 
 def test_routing_cache_reuses_decision(deployment):
