@@ -222,8 +222,10 @@ class SchedulerBase:
                     if within_spare and not finishes_before_shadow:
                         spare_at_shadow -= need
 
-        for handle in started:
-            self._queue.remove(handle)
+        if started:
+            # One O(n) rebuild instead of an O(n) remove per started job.
+            started_set = set(started)
+            self._queue = [h for h in self._queue if h not in started_set]
 
     def _compute_shadow(self, need: int, currently_free: int):
         """Estimate when the blocked head job could start (EASY backfill)."""

@@ -6,14 +6,57 @@ Iteration duration comes from the :class:`~repro.serving.timing.PerformanceModel
 so aggregate throughput saturates with batch size exactly as described in the
 paper's evaluation.  Admission is bounded by ``max_num_seqs`` and by the
 paged KV cache (:class:`~repro.serving.kvcache.KVCacheManager`).
+
+Performance notes (macro-stepping)
+----------------------------------
+
+Naively the engine costs one kernel event plus O(batch) Python work per
+decode iteration, which dominates the wall-clock time of large benchmark
+sweeps.  With ``EngineConfig.macro_stepping`` (the default) the loop instead
+computes how many iterations can pass before the simulation state can
+change and collapses them into a single kernel event, bulk-updating token
+counts, KV allocations (:meth:`KVCacheManager.grow_bulk`) and stats.  The
+simulated-time results are reproduced exactly — iteration boundary times are
+accumulated with the same sequence of float additions the per-token loop
+performs, and absolute-time scheduling (``Environment.timeout_at``) replays
+them bit-for-bit.
+
+A macro-step window ends at the earliest of:
+
+* the earliest completion among running sequences (state changes there);
+* any admission this iteration (prefill extends only the *first* iteration's
+  duration, so admission iterations always step per-token);
+* KV growth that cannot be guaranteed for the whole window
+  (``grow_bulk`` fails ⇒ fall back to per-token stepping, which performs
+  preemption with the exact original semantics);
+* a running sequence with a live stream channel (consumers observe
+  per-token timing, so the engine keeps emitting one event per iteration).
+
+When a request is submitted mid-window, the window is split: the loop is
+interrupted, catches up to the last boundary already passed, finishes the
+in-flight iteration with an exact per-token step, and re-plans — so the
+newcomer is admitted at the same iteration boundary the per-token engine
+would have used.  ``stop()`` likewise syncs the window before failing
+sequences so their token counts and the busy-time accounting match.
+
+Two divergences from the per-token engine are tolerated, neither visible in
+results or stats.  First, floating-point *tie-breaking*: if an external
+event lands at exactly (bit-for-bit) an interior iteration boundary, the
+relative order of that event and the engine's bookkeeping may differ;
+continuous-valued workloads never hit this in practice.  Second, post-stop
+*queue drain*: a window abandoned by ``stop()`` leaves its already-scheduled
+end-of-window timeout in the event heap, so ``env.run()``-to-empty finishes
+at the window's end rather than at the next per-token boundary — ``env.now``
+after draining a stopped engine is therefore mode-dependent.
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
-from typing import Dict, List, Optional
+from collections import deque
+from dataclasses import dataclass
+from typing import Deque, List, Optional, Set, Tuple
 
-from ..sim import Environment, Event
+from ..sim import Environment, Event, Interrupt
 from .kvcache import KVCacheConfig, KVCacheManager
 from .request import InferenceRequest, InferenceResult, RequestKind
 from .stream import STREAM_CHANNEL_KEY, StreamEvent
@@ -35,6 +78,11 @@ class EngineConfig:
     #: Generate actual response text (slower, used by examples; benchmarks
     #: usually disable it).
     generate_text: bool = True
+    #: Collapse state-preserving runs of decode iterations into a single
+    #: kernel event (see the module docstring).  Disable to force the
+    #: reference one-event-per-iteration loop; simulated-time results are
+    #: identical either way.
+    macro_stepping: bool = True
 
 
 @dataclass
@@ -110,6 +158,29 @@ class _Sequence:
         return self.request.prompt_tokens + self.generated
 
 
+class _Window:
+    """An in-flight macro-step: ``len(boundaries)`` decode iterations
+    collapsed into one kernel event.
+
+    ``boundaries`` holds the absolute simulated time of every iteration
+    boundary in the window; ``done`` counts how many have been applied (a
+    window interrupted mid-flight is applied piecewise).
+    """
+
+    __slots__ = ("step", "boundaries", "kv_blocked", "done", "interrupted", "closed")
+
+    def __init__(self, step: float, boundaries: List[float], kv_blocked: bool):
+        self.step = step
+        self.boundaries = boundaries
+        self.kv_blocked = kv_blocked
+        self.done = 0
+        self.interrupted = False
+        #: Set by stop(): the window's remaining accounting is settled and the
+        #: loop must not touch it again (e.g. an Interrupt queued by a submit
+        #: in the same callback as the stop is still in flight).
+        self.closed = False
+
+
 class ContinuousBatchingEngine:
     """A continuous-batching LLM engine bound to a fixed GPU allocation."""
 
@@ -135,9 +206,10 @@ class ContinuousBatchingEngine:
             )
         )
         self.stats = EngineStats()
-        self.waiting: List[_Sequence] = []
+        self.waiting: Deque[_Sequence] = deque()
         self.running: List[_Sequence] = []
         self._idle: Optional[Event] = None
+        self._window: Optional[_Window] = None
         self._stopped = False
         self._loop = env.process(self._run())
 
@@ -156,15 +228,31 @@ class ContinuousBatchingEngine:
 
     def stop(self) -> None:
         """Stop accepting requests and fail anything still queued or running."""
+        window = self._window
+        if window is not None:
+            # Bring token counts and timings up to the last iteration boundary
+            # already passed so the failed results report the same progress the
+            # per-token engine would have.
+            self._window = None
+            self._sync_window(window)
+            if window.done < len(window.boundaries):
+                # The iteration in flight at stop time still occupies the GPU
+                # until its boundary (the per-token loop accounts it when its
+                # pending timeout fires).
+                self.stats.busy_time_s += window.step
+            window.closed = True
         self._stopped = True
-        self.stats.failed += len(self.waiting) + len(self.running)
-        for seq in self.waiting + self.running:
-            if not seq.event.triggered:
-                seq.event.succeed(self._make_result(seq, success=False,
-                                                    error="engine stopped"))
-            if seq.stream_channel is not None:
-                seq.stream_channel.close()
-            self.kv.free(seq.seq_id)
+        failed = 0
+        for group in (self.waiting, self.running):
+            for seq in group:
+                if not seq.event.triggered:
+                    failed += 1
+                    seq.event.succeed(self._make_result(seq, success=False,
+                                                        error="engine stopped"))
+                if seq.stream_channel is not None:
+                    seq.stream_channel.close()
+                self.kv.free(seq.seq_id)
+        self.stats.failed += failed
         self.waiting.clear()
         self.running.clear()
         self._notify()
@@ -187,8 +275,16 @@ class ContinuousBatchingEngine:
 
     # -- engine loop -----------------------------------------------------------
     def _notify(self) -> None:
-        if self._idle is not None and not self._idle.triggered:
-            self._idle.succeed()
+        idle = self._idle
+        if idle is not None and not idle.triggered:
+            idle.succeed()
+            return
+        window = self._window
+        if window is not None and not window.interrupted:
+            # New work arrived mid-macro-step: split the window so the loop
+            # can admit at the next per-token iteration boundary.
+            window.interrupted = True
+            self._loop.interrupt()
 
     def _run(self):
         env = self.env
@@ -204,7 +300,7 @@ class ContinuousBatchingEngine:
                 self._idle = None
                 continue
 
-            prefill_tokens = self._admit()
+            prefill_tokens, kv_blocked = self._admit()
             batch = len(self.running)
             if batch == 0:
                 # Nothing admitted (e.g. KV exhausted with nothing running);
@@ -214,64 +310,238 @@ class ContinuousBatchingEngine:
                 self._idle = None
                 continue
 
-            self.stats.peak_batch_size = max(self.stats.peak_batch_size, batch)
+            if batch > self.stats.peak_batch_size:
+                self.stats.peak_batch_size = batch
             step = self.perf.decode_step_time_s(batch)
             if prefill_tokens:
                 step += prefill_tokens / self.perf.prefill_tok_s
-            yield env.timeout(step)
-            self.stats.busy_time_s += step
-            self._advance()
 
-    def _admit(self) -> int:
-        """Move sequences from waiting to running; returns prefill tokens added."""
+            # Prefill extends only this iteration's duration, so any iteration
+            # that admitted work must step alone.
+            iters = 1 if prefill_tokens else self._plan_window(kv_blocked)
+            if iters <= 1:
+                yield env.timeout(step)
+                self.stats.busy_time_s += step
+                self._advance()
+                continue
+
+            # Macro-step: one kernel event covers ``iters`` iterations.  The
+            # boundary times are accumulated with the same float additions the
+            # per-token loop performs, so they replay bit-for-bit.
+            boundaries = []
+            t = env.now
+            for _ in range(iters):
+                t += step
+                boundaries.append(t)
+            window = _Window(step, boundaries, kv_blocked)
+            self._window = window
+            try:
+                yield env.timeout_at(boundaries[-1])
+            except Interrupt:
+                # A submission arrived mid-window: catch up to the boundaries
+                # already passed, then finish the in-flight iteration with an
+                # exact per-token step so the newcomer is admitted where the
+                # per-token engine would have admitted it.  A window stop()
+                # already closed (submit-then-stop in one callback) is fully
+                # accounted; touching it again would double-count busy time.
+                self._window = None
+                if not window.closed:
+                    self._sync_window(window)
+                    if window.done < len(window.boundaries):
+                        yield env.timeout_at(window.boundaries[window.done])
+                        self.stats.busy_time_s += window.step
+                        self._advance()
+                continue
+            if self._window is None:
+                continue  # stop() drained the window while we slept
+            self._window = None
+            self._apply_iterations(window, len(window.boundaries))
+
+    def _admit(self) -> Tuple[int, bool]:
+        """Move sequences from waiting to running.
+
+        Returns the prefill tokens added and whether admission stalled on a
+        failed KV allocation (as opposed to ``max_num_seqs`` or the per-step
+        prefill budget).
+        """
         prefill_tokens = 0
+        kv_blocked = False
+        waiting = self.waiting
+        running = self.running
+        cfg = self.config
         while (
-            self.waiting
-            and len(self.running) < self.config.max_num_seqs
-            and prefill_tokens < self.config.max_prefill_tokens_per_step
+            waiting
+            and len(running) < cfg.max_num_seqs
+            and prefill_tokens < cfg.max_prefill_tokens_per_step
         ):
-            seq = self.waiting[0]
-            reserve = seq.request.prompt_tokens + self.config.kv_block_size
+            seq = waiting[0]
+            reserve = seq.request.prompt_tokens + cfg.kv_block_size
             if not self.kv.allocate(seq.seq_id, reserve):
+                kv_blocked = True
                 break
-            self.waiting.pop(0)
+            waiting.popleft()
             seq.admit_time = self.env.now
             seq.prefilled = True
             prefill_tokens += seq.request.prompt_tokens
-            self.running.append(seq)
-        return prefill_tokens
+            running.append(seq)
+        return prefill_tokens, kv_blocked
 
+    # -- macro-stepping ---------------------------------------------------------
+    def _plan_window(self, kv_blocked: bool) -> int:
+        """Number of iterations until the next possible state change.
+
+        A return value above 1 additionally guarantees (by probing the whole
+        window's KV growth via :meth:`KVCacheManager.can_grow_bulk`) that no
+        KV-pressure preemption can occur inside the window.  The probe does
+        not allocate: growth is applied by :meth:`_apply_iterations` only for
+        iterations that actually execute, so a window that is interrupted and
+        abandoned leaves the free-block pool in the exact per-token state.
+        """
+        if not self.config.macro_stepping:
+            return 1
+        iters: Optional[int] = None
+        for seq in self.running:
+            if seq.stream_channel is not None:
+                # A live consumer observes per-token timing; keep exact events.
+                return 1
+            remaining = seq.target_tokens - seq.generated
+            if iters is None or remaining < iters:
+                iters = remaining
+        if iters is None or iters <= 1:
+            return 1
+        if not self.kv.can_grow_bulk(self._window_growth(iters)):
+            # KV pressure possible mid-window: the per-token path reproduces
+            # the original preemption semantics exactly.
+            return 1
+        return iters
+
+    def _window_growth(self, iters: int) -> List[Tuple[str, int]]:
+        """Per-sequence KV token targets at the end of an ``iters`` window.
+
+        Sequences that finish exactly at the window end stop growing one
+        iteration earlier (the per-token loop checks completion before
+        growing), hence the missing one-token lookahead for them.
+        """
+        growth = []
+        for seq in self.running:
+            lookahead = 0 if seq.target_tokens - seq.generated == iters else 1
+            growth.append((seq.seq_id, seq.total_tokens + iters + lookahead))
+        return growth
+
+    def _sync_window(self, window: _Window) -> None:
+        """Apply every window iteration whose boundary time has passed."""
+        now = self.env.now
+        boundaries = window.boundaries
+        upto = window.done
+        total = len(boundaries)
+        while upto < total and boundaries[upto] <= now:
+            upto += 1
+        self._apply_iterations(window, upto)
+
+    def _apply_iterations(self, window: _Window, upto: int) -> None:
+        """Bulk-apply window iterations ``window.done + 1 .. upto``.
+
+        Completions are only possible at the final boundary (the window is
+        sized to the earliest completion), so interior catch-ups are pure
+        token/stat arithmetic.
+        """
+        done = window.done
+        n = upto - done
+        if n <= 0:
+            return
+        running = self.running
+        stats = self.stats
+        step = window.step
+        for _ in range(n):  # same addition order as the per-token loop
+            stats.busy_time_s += step
+        if window.kv_blocked:
+            # The per-token loop re-attempts (and fails) the blocked head-of-
+            # line admission at every interior boundary; mirror its failure
+            # accounting.  The final boundary re-attempts in the next loop
+            # iteration's _admit, so it is excluded here.
+            last_interior = len(window.boundaries) - 1
+            retries = min(upto, last_interior) - min(done, last_interior)
+            if retries > 0:
+                self.kv.allocation_failures += retries
+        if done == 0:
+            first_boundary = window.boundaries[0]
+            for seq in running:
+                if seq.first_token_time is None:
+                    seq.first_token_time = first_boundary
+        growth = []
+        for seq in running:
+            seq.generated += n
+            if seq.generated < seq.target_tokens:
+                # Same one-token lookahead the per-token loop grows to after
+                # iteration ``upto``; sequences finishing here never grow in
+                # their final iteration and are freed right below.  Success is
+                # guaranteed by the window's can_grow_bulk probe.
+                growth.append((seq.seq_id, seq.total_tokens + 1))
+        if growth:
+            self.kv.grow_bulk(growth)
+        stats.output_tokens += n * len(running)
+        window.done = upto
+        if upto == len(window.boundaries):
+            self._complete_finished()
+
+    def _complete_finished(self) -> None:
+        """Complete every running sequence that reached its target tokens."""
+        running = self.running
+        finished = [seq for seq in running if seq.generated >= seq.target_tokens]
+        if not finished:
+            return
+        drop = set(finished)
+        self.running = [seq for seq in running if seq not in drop]
+        now = self.env.now
+        for seq in finished:
+            self._finish_sequence(seq, now)
+
+    def _finish_sequence(self, seq: _Sequence, now: float) -> None:
+        """Release and succeed one completed sequence (already off ``running``)."""
+        self.kv.free(seq.seq_id)
+        self.stats.completed += 1
+        if seq.stream_channel is not None:
+            seq.stream_channel.publish(
+                StreamEvent(kind="done", index=seq.generated, time=now,
+                            finish_reason="stop")
+            )
+            seq.stream_channel.close()
+        seq.event.succeed(self._make_result(seq, success=True))
+
+    # -- per-token stepping -------------------------------------------------------
     def _advance(self) -> None:
         """One token generated for every running sequence."""
         now = self.env.now
+        running = self.running
+        stats = self.stats
+        kv = self.kv
+        #: Sequences that left the batch during this iteration (preempted,
+        #: failed, or finished); an O(1) membership index replacing the
+        #: seed's ``seq not in self.running`` scans and in-place removals.
+        inactive: Set[_Sequence] = set()
         finished: List[_Sequence] = []
-        for seq in list(self.running):
-            if seq not in self.running:
+        for seq in running:
+            if seq in inactive:
                 # Preempted earlier in this same iteration by another
                 # sequence's KV growth; it will be re-prefilled later.
                 continue
             seq.generated += 1
-            self.stats.output_tokens += 1
+            stats.output_tokens += 1
             if seq.first_token_time is None:
                 seq.first_token_time = now
             if seq.stream_channel is not None and seq.generated > seq.streamed:
                 self._publish_token(seq, now)
             if seq.generated >= seq.target_tokens:
                 finished.append(seq)
+                # Not a preemption candidate: its blocks are freed right below.
+                inactive.add(seq)
                 continue
-            if not self.kv.grow(seq.seq_id, seq.total_tokens + 1):
-                self._handle_kv_pressure(seq)
+            if not kv.grow(seq.seq_id, seq.total_tokens + 1):
+                self._handle_kv_pressure(seq, inactive)
+        if inactive:
+            self.running = [seq for seq in running if seq not in inactive]
         for seq in finished:
-            self.running.remove(seq)
-            self.kv.free(seq.seq_id)
-            self.stats.completed += 1
-            if seq.stream_channel is not None:
-                seq.stream_channel.publish(
-                    StreamEvent(kind="done", index=seq.generated, time=now,
-                                finish_reason="stop")
-                )
-                seq.stream_channel.close()
-            seq.event.succeed(self._make_result(seq, success=True))
+            self._finish_sequence(seq, now)
 
     def _publish_token(self, seq: _Sequence, now: float) -> None:
         """Emit one per-token stream event at the engine's iteration timing."""
@@ -285,12 +555,16 @@ class ContinuousBatchingEngine:
             StreamEvent(kind="token", index=seq.generated - 1, time=now, text=text)
         )
 
-    def _handle_kv_pressure(self, needy: _Sequence) -> None:
+    def _handle_kv_pressure(self, needy: _Sequence, inactive: Set[_Sequence]) -> None:
         """Preempt the most recently admitted other sequence to free blocks."""
-        victims = [s for s in reversed(self.running) if s is not needy]
-        if not victims:
+        victim = None
+        for seq in reversed(self.running):
+            if seq is not needy and seq not in inactive:
+                victim = seq
+                break
+        if victim is None:
             # Nothing to preempt: fail the sequence (it cannot make progress).
-            self.running.remove(needy)
+            inactive.add(needy)
             self.kv.free(needy.seq_id)
             self.stats.failed += 1
             if needy.stream_channel is not None:
@@ -298,15 +572,14 @@ class ContinuousBatchingEngine:
             needy.event.succeed(self._make_result(needy, success=False,
                                                   error="KV cache exhausted"))
             return
-        victim = victims[0]
-        self.running.remove(victim)
+        inactive.add(victim)
         self.kv.preempt(victim.seq_id)
         self.stats.preempted += 1
         # The victim restarts from scratch (recompute preemption).
         victim.generated = 0
         victim.prefilled = False
         victim.admit_time = None
-        self.waiting.insert(0, victim)
+        self.waiting.appendleft(victim)
 
     def _make_result(self, seq: _Sequence, success: bool, error: Optional[str] = None) -> InferenceResult:
         request = seq.request

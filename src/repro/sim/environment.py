@@ -3,11 +3,13 @@
 from __future__ import annotations
 
 import heapq
+from collections import deque
 from itertools import count
-from typing import Any, Generator, Iterable, List, Optional, Tuple
+from typing import Any, Deque, Generator, Iterable, List, Optional, Tuple
 
 from .events import (
     NORMAL,
+    URGENT,
     AllOf,
     AnyOf,
     Event,
@@ -43,6 +45,11 @@ class Environment:
     def __init__(self, initial_time: float = 0.0):
         self._now = float(initial_time)
         self._queue: List[Tuple[float, int, int, Event]] = []
+        #: Fast lane for zero-delay URGENT events (process starts, interrupts).
+        #: They always run before every same-time NORMAL event, and among
+        #: themselves in insertion order, so a plain FIFO reproduces the heap
+        #: ordering without any tuple construction or sift cost.
+        self._urgent: Deque[Event] = deque()
         self._eid = count()
         self._active_proc: Optional[Process] = None
 
@@ -60,7 +67,7 @@ class Environment:
     @property
     def queue_size(self) -> int:
         """Number of events currently scheduled."""
-        return len(self._queue)
+        return len(self._queue) + len(self._urgent)
 
     # -- event creation --------------------------------------------------
     def event(self) -> Event:
@@ -70,6 +77,15 @@ class Environment:
     def timeout(self, delay: float, value: Any = None) -> Timeout:
         """Create a :class:`Timeout` that fires after ``delay`` seconds."""
         return Timeout(self, delay, value)
+
+    def timeout_at(self, time: float, value: Any = None) -> Timeout:
+        """Create a :class:`Timeout` that fires at the *absolute* time ``time``.
+
+        Unlike ``timeout(time - now)``, the event fires at exactly ``time``
+        with no floating-point round trip, which lets callers reproduce a
+        previously computed event time bit-for-bit.
+        """
+        return Timeout(self, time - self._now, value, at=time)
 
     def process(self, generator: Generator) -> Process:
         """Start a new :class:`Process` from a generator."""
@@ -86,10 +102,24 @@ class Environment:
     # -- scheduling ------------------------------------------------------
     def schedule(self, event: Event, delay: float = 0.0, priority: int = NORMAL) -> None:
         """Schedule ``event`` to be processed after ``delay`` seconds."""
+        if priority == URGENT and delay == 0.0:
+            # Same-time URGENT events outrank every NORMAL event queued for
+            # this instant, and time cannot move backwards, so they can skip
+            # the heap entirely (no (time, priority, eid, event) tuple churn).
+            self._urgent.append(event)
+            return
         heapq.heappush(self._queue, (self._now + delay, priority, next(self._eid), event))
+
+    def schedule_at(self, event: Event, time: float, priority: int = NORMAL) -> None:
+        """Schedule ``event`` at the absolute simulated ``time``."""
+        if time < self._now:
+            raise ValueError(f"Cannot schedule at {time} (now is {self._now})")
+        heapq.heappush(self._queue, (time, priority, next(self._eid), event))
 
     def peek(self) -> float:
         """Time of the next scheduled event, or ``inf`` if none."""
+        if self._urgent:
+            return self._now
         return self._queue[0][0] if self._queue else float("inf")
 
     def step(self) -> None:
@@ -97,10 +127,13 @@ class Environment:
 
         Raises :class:`EmptySchedule` if no events remain.
         """
-        try:
-            self._now, _, _, event = heapq.heappop(self._queue)
-        except IndexError:
-            raise EmptySchedule() from None
+        if self._urgent:
+            event = self._urgent.popleft()
+        else:
+            try:
+                self._now, _, _, event = heapq.heappop(self._queue)
+            except IndexError:
+                raise EmptySchedule() from None
 
         callbacks, event.callbacks = event.callbacks, None
         if callbacks is None:

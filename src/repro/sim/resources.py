@@ -7,7 +7,9 @@ dispatch channels, and so on.
 
 from __future__ import annotations
 
-from typing import Any, List, Optional
+from bisect import insort
+from collections import deque
+from typing import Deque, List
 
 from .events import Event
 
@@ -55,7 +57,12 @@ class Release(Event):
 
 
 class Resource:
-    """A resource with a fixed integer ``capacity`` and a FIFO wait queue."""
+    """A resource with a fixed integer ``capacity`` and a FIFO wait queue.
+
+    The wait queue is a deque: granting the next waiter is O(1), while
+    withdrawing a pending request (cancellation) remains an O(n) removal
+    with unchanged semantics.
+    """
 
     def __init__(self, env, capacity: int = 1):
         if capacity <= 0:
@@ -63,7 +70,7 @@ class Resource:
         self._env = env
         self._capacity = int(capacity)
         self.users: List[Request] = []
-        self.queue: List[Request] = []
+        self.queue: Deque[Request] = deque()
 
     @property
     def env(self):
@@ -114,7 +121,7 @@ class Resource:
 
     def _trigger_waiters(self) -> None:
         while self.queue and len(self.users) < self._capacity:
-            request = self.queue.pop(0)
+            request = self.queue.popleft()
             self.users.append(request)
             request.succeed()
 
@@ -129,13 +136,18 @@ class PriorityRequest(Request):
 
 
 class PriorityResource(Resource):
-    """Resource whose wait queue is ordered by request priority."""
+    """Resource whose wait queue is ordered by request priority.
+
+    The queue is a list kept sorted by insertion (``bisect.insort``), which
+    replaces the seed's full re-sort on every request and wake-up.
+    """
 
     def __init__(self, env, capacity: int = 1):
         super().__init__(env, capacity)
         from itertools import count as _count
 
         self._ticket = _count()
+        self.queue: List[Request] = []
 
     def request(self, priority: int = 0) -> PriorityRequest:  # type: ignore[override]
         return PriorityRequest(self, priority)
@@ -145,12 +157,13 @@ class PriorityResource(Resource):
             self.users.append(request)
             request.succeed()
         else:
-            self.queue.append(request)
-            self.queue.sort(key=lambda r: r.key)  # type: ignore[attr-defined]
+            insort(self.queue, request, key=lambda r: r.key)  # type: ignore[attr-defined]
 
     def _trigger_waiters(self) -> None:
-        self.queue.sort(key=lambda r: r.key)  # type: ignore[attr-defined]
-        super()._trigger_waiters()
+        while self.queue and len(self.users) < self._capacity:
+            request = self.queue.pop(0)
+            self.users.append(request)
+            request.succeed()
 
 
 class ContainerPut(Event):
@@ -184,8 +197,8 @@ class Container:
         self._env = env
         self._capacity = capacity
         self._level = init
-        self._put_queue: List[ContainerPut] = []
-        self._get_queue: List[ContainerGet] = []
+        self._put_queue: Deque[ContainerPut] = deque()
+        self._get_queue: Deque[ContainerGet] = deque()
 
     @property
     def capacity(self) -> float:
@@ -210,14 +223,14 @@ class Container:
             if self._put_queue:
                 put = self._put_queue[0]
                 if self._level + put.amount <= self._capacity:
-                    self._put_queue.pop(0)
+                    self._put_queue.popleft()
                     self._level += put.amount
                     put.succeed()
                     progressed = True
             if self._get_queue:
                 get = self._get_queue[0]
                 if self._level >= get.amount:
-                    self._get_queue.pop(0)
+                    self._get_queue.popleft()
                     self._level -= get.amount
                     get.succeed()
                     progressed = True

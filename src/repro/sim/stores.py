@@ -7,7 +7,9 @@ and the batch-job queues.
 
 from __future__ import annotations
 
-from typing import Any, Callable, List, Optional
+from bisect import insort
+from collections import deque
+from typing import Any, Callable, Deque, List
 
 from .events import Event
 
@@ -34,16 +36,21 @@ class StoreGet(Event):
 
 
 class Store:
-    """A FIFO store of arbitrary items with optional bounded capacity."""
+    """A FIFO store of arbitrary items with optional bounded capacity.
+
+    ``items`` and the pending put/get queues are deques so the FIFO hot path
+    (append at the tail, serve from the head) is O(1) instead of the O(n)
+    ``list.pop(0)`` a list would pay per item.
+    """
 
     def __init__(self, env, capacity: float = float("inf")):
         if capacity <= 0:
             raise ValueError("capacity must be > 0")
         self._env = env
         self._capacity = capacity
-        self.items: List[Any] = []
-        self._put_queue: List[StorePut] = []
-        self._get_queue: List[StoreGet] = []
+        self.items: Deque[Any] = deque()
+        self._put_queue: Deque[StorePut] = deque()
+        self._get_queue: Deque[StoreGet] = deque()
 
     @property
     def env(self):
@@ -74,33 +81,34 @@ class Store:
 
     def _do_get(self, event: StoreGet) -> bool:
         if self.items:
-            event.succeed(self.items.pop(0))
+            event.succeed(self.items.popleft())
             return True
         return False
+
+    def _service_put_queue(self) -> bool:
+        """Serve queued puts from the head until the first one blocks."""
+        progressed = False
+        queue = self._put_queue
+        while queue and self._do_put(queue[0]):
+            queue.popleft()
+            progressed = True
+        return progressed
+
+    def _service_get_queue(self) -> bool:
+        """Serve queued gets from the head until the first one blocks."""
+        progressed = False
+        queue = self._get_queue
+        while queue and self._do_get(queue[0]):
+            queue.popleft()
+            progressed = True
+        return progressed
 
     def _trigger(self) -> None:
         progressed = True
         while progressed:
-            progressed = False
-            idx = 0
-            while idx < len(self._put_queue):
-                event = self._put_queue[idx]
-                if self._do_put(event):
-                    self._put_queue.pop(idx)
-                    progressed = True
-                else:
-                    idx += 1
-                    break
-            idx = 0
-            while idx < len(self._get_queue):
-                event = self._get_queue[idx]
-                if self._do_get(event):
-                    self._get_queue.pop(idx)
-                    progressed = True
-                else:
-                    idx += 1
-                    if not isinstance(self, FilterStore):
-                        break
+            progressed = self._service_put_queue()
+            if self._service_get_queue():
+                progressed = True
 
 
 class FilterStoreGet(StoreGet):
@@ -121,10 +129,24 @@ class FilterStore(Store):
         filt = getattr(event, "filter", lambda item: True)
         for i, item in enumerate(self.items):
             if filt(item):
-                self.items.pop(i)
+                del self.items[i]
                 event.succeed(item)
                 return True
         return False
+
+    def _service_get_queue(self) -> bool:
+        """Unlike the FIFO store, a blocked filtered get must not stall the
+        consumers behind it; every waiter is offered the current items once,
+        with blocked waiters retained in their original order."""
+        progressed = False
+        queue = self._get_queue
+        for _ in range(len(queue)):
+            event = queue.popleft()
+            if self._do_get(event):
+                progressed = True
+            else:
+                queue.append(event)
+        return progressed
 
 
 class PriorityItem:
@@ -151,20 +173,26 @@ class PriorityItem:
 
 
 class PriorityStore(Store):
-    """A store that always yields the lowest-priority-value item first."""
+    """A store that always yields the lowest-priority-value item first.
+
+    ``items`` stays a plain sorted list: the binary-search insert needs O(1)
+    random access, which a deque's O(n) middle indexing would ruin.
+    """
+
+    def __init__(self, env, capacity: float = float("inf")):
+        super().__init__(env, capacity)
+        self.items: List[Any] = []
 
     def _do_put(self, event: StorePut) -> bool:
         if len(self.items) < self._capacity:
-            item = event.item
-            # Insert keeping the list sorted (stable for equal priorities).
-            lo, hi = 0, len(self.items)
-            while lo < hi:
-                mid = (lo + hi) // 2
-                if item < self.items[mid]:
-                    hi = mid
-                else:
-                    lo = mid + 1
-            self.items.insert(lo, item)
+            # insort_right keeps insertion order stable for equal priorities.
+            insort(self.items, event.item)
             event.succeed()
+            return True
+        return False
+
+    def _do_get(self, event: StoreGet) -> bool:
+        if self.items:
+            event.succeed(self.items.pop(0))
             return True
         return False

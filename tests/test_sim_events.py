@@ -390,3 +390,74 @@ def test_already_processed_event_yield_continues_immediately():
     p = env.process(proc(env))
     env.run()
     assert p.value == ("x", 2.0)
+
+
+def test_timeout_at_fires_at_exact_absolute_time():
+    """timeout_at replays a previously observed event time bit-for-bit, even
+    when ``now + (t - now)`` would round differently."""
+    env = Environment()
+    # A time with no short binary representation, reached via accumulation.
+    t = 0.0
+    for _ in range(7):
+        t += 0.1
+    times = []
+
+    def proc(env):
+        yield env.timeout(0.3)
+        yield env.timeout_at(t)
+        times.append(env.now)
+
+    env.process(proc(env))
+    env.run()
+    assert times == [t]  # exact equality, not approx
+
+
+def test_timeout_at_in_past_raises():
+    env = Environment()
+
+    def proc(env):
+        yield env.timeout(5.0)
+        env.timeout_at(1.0)
+
+    p = env.process(proc(env))
+    with pytest.raises(ValueError):
+        env.run(until=p)
+
+
+def test_urgent_events_precede_same_time_normal_events():
+    """Process starts (URGENT) run before already-queued same-time NORMAL
+    events — the urgent fast lane preserves the heap's priority contract."""
+    env = Environment()
+    order = []
+
+    def outer(env):
+        yield env.timeout(1.0)
+        order.append("outer")
+        env.process(inner(env))  # Initialize is URGENT at the same instant
+
+    def inner(env):
+        order.append("inner-start")
+        yield env.timeout(0.0)
+        order.append("inner-resumed")
+
+    def sibling(env):
+        yield env.timeout(1.0)
+        order.append("sibling")
+
+    env.process(outer(env))
+    env.process(sibling(env))
+    env.run()
+    # inner's URGENT start outranks sibling's earlier-queued NORMAL event at
+    # the same instant; inner's 0-delay NORMAL timeout then queues after it.
+    assert order == ["outer", "inner-start", "sibling", "inner-resumed"]
+
+
+def test_queue_size_counts_urgent_fast_lane():
+    def noop(env):
+        yield env.timeout(0.0)
+
+    env = Environment()
+    env.process(noop(env))
+    assert env.queue_size == 1  # the Initialize event sits in the fast lane
+    env.run()
+    assert env.queue_size == 0

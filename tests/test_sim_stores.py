@@ -89,7 +89,7 @@ def test_filter_store_matches_predicate():
     env.process(consumer(env, store))
     env.run()
     assert got == ["blue"]
-    assert store.items == ["red", "green"]
+    assert list(store.items) == ["red", "green"]
 
 
 def test_filter_store_waits_for_matching_item():
