@@ -89,6 +89,21 @@ def main() -> None:
     for job in client.jobs():
         print(f"  {job['model']:<40s} {job['state']}")
 
+    # 9. Shifting-traffic workloads: beyond fixed-rate arrivals, the
+    #    workload package generates diurnal day/night cycles, linear ramps
+    #    and trace replays — the shapes the autoscaling control plane is
+    #    benchmarked against (see examples/autoscaling_policies.py).
+    from repro.workload import DiurnalArrival, RampArrival
+
+    diurnal = DiurnalArrival(base_rate=0.5, peak_rate=4.0, period_s=600.0, seed=7)
+    ramp = RampArrival(start_rate=0.5, end_rate=4.0, ramp_s=300.0, seed=7)
+    print("\nShifting-traffic arrival processes:")
+    for arrival in (diurnal, ramp):
+        sends = arrival.offsets(300)
+        mid = sum(1 for t in sends if sends[-1] / 3 <= t < 2 * sends[-1] / 3)
+        print(f"  {arrival.label:<42s} first send {sends[0]:6.1f}s, "
+              f"300th {sends[-1]:6.1f}s ({mid} sends in the middle third)")
+
 
 if __name__ == "__main__":
     main()

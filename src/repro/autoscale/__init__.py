@@ -1,0 +1,54 @@
+"""Autoscaling control plane.
+
+A standalone subsystem that closes the loop between observed demand and
+per-model replica counts:
+
+* :class:`MetricsFeed` samples a model's instance pool (queue depth, busy
+  fraction, KV pressure, cold-start estimate) and, when attached, the
+  gateway's recent TTFT/ITL/latency medians;
+* :class:`ScalingPolicy` implementations map samples to replica targets —
+  :class:`QueueDepthPolicy` (the legacy endpoint heuristic, extracted),
+  :class:`TargetUtilizationPolicy` (PID-style with cooldown/hysteresis),
+  :class:`ScheduledPolicy` (cron-like capacity plans) and
+  :class:`PredictivePolicy` (EWMA/Holt arrival forecast that pre-warms one
+  cold start ahead of ramps);
+* :class:`ReplicaPool` actuates targets (launch / drain-before-terminate)
+  against the endpoint's instance pool;
+* :class:`AutoscaleController` runs the periodic control loops.
+
+Configured per model through :class:`AutoscaleConfig` on
+``ModelDeploymentSpec`` / ``ModelHostingConfig``.
+"""
+
+from .config import AutoscaleConfig
+from .controller import AutoscaleController
+from .metrics import MetricsFeed, MetricsSample
+from .policy import (
+    POLICIES,
+    PredictivePolicy,
+    QueueDepthPolicy,
+    ScalingDecision,
+    ScalingPolicy,
+    ScheduledPolicy,
+    TargetUtilizationPolicy,
+    make_policy,
+    register_policy,
+)
+from .pool import ReplicaPool
+
+__all__ = [
+    "AutoscaleConfig",
+    "AutoscaleController",
+    "MetricsFeed",
+    "MetricsSample",
+    "ReplicaPool",
+    "ScalingDecision",
+    "ScalingPolicy",
+    "QueueDepthPolicy",
+    "TargetUtilizationPolicy",
+    "ScheduledPolicy",
+    "PredictivePolicy",
+    "POLICIES",
+    "register_policy",
+    "make_policy",
+]

@@ -1,0 +1,118 @@
+"""Cold-start-aware replica pool: the control plane's actuator.
+
+A :class:`ReplicaPool` binds one model's metrics feed and scaling policy to
+a *backend* — the endpoint-side instance pool that can actually launch and
+drain instances.  It owns target clamping (min/max), converts policy
+targets into launch / drain actions, and keeps an audit log of every scale
+event for benchmarks and the dashboard.
+
+The backend protocol (implemented by the FaaS endpoint's ``_ModelPool``)::
+
+    launch_one()            submit a scheduler job + bring up an instance
+    start_drain_one() -> bool
+                            begin drain-before-terminate on one ready
+                            instance (False when none is drainable)
+
+plus the metrics-source attributes documented in
+:mod:`repro.autoscale.metrics`.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional
+
+from ..sim import Environment
+from .metrics import MetricsFeed, MetricsSample
+from .policy import ScalingPolicy
+
+__all__ = ["ReplicaPool"]
+
+
+class ReplicaPool:
+    """Policy-driven scaling of one model's instances."""
+
+    def __init__(
+        self,
+        env: Environment,
+        feed: MetricsFeed,
+        policy: ScalingPolicy,
+        backend,
+        min_instances: int = 0,
+        max_instances: int = 1,
+    ):
+        self.env = env
+        self.feed = feed
+        self.policy = policy
+        self.backend = backend
+        self.min_instances = min_instances
+        self.max_instances = max_instances
+        #: Audit log of applied scale events (time, current, target, reason).
+        self.actions: List[dict] = []
+        self.launches = 0
+        self.drains = 0
+
+    @property
+    def model(self) -> str:
+        return self.feed.source.model
+
+    # -- control entry points --------------------------------------------------
+    def reactive(self) -> None:
+        """Demand-driven check (a task just started waiting)."""
+        sample = self.feed.sample(advance=False)
+        self._apply(sample, self.policy.reactive(sample), reason="reactive")
+
+    def tick(self) -> None:
+        """Periodic controller evaluation."""
+        sample = self.feed.sample()
+        decision = self.policy.decide(sample)
+        self._apply(sample, decision.target, reason=decision.reason or "tick")
+
+    def scale_to(self, target: int, reason: str = "manual") -> None:
+        """Imperative scaling (operator/benchmark override)."""
+        self._apply(self.feed.sample(advance=False), target, reason=reason)
+
+    # -- actuation -------------------------------------------------------------
+    def _clamp(self, target: int) -> int:
+        return max(self.min_instances, min(self.max_instances, target))
+
+    def _apply(self, sample: MetricsSample, target: Optional[int], reason: str) -> None:
+        if target is None:
+            return
+        current = sample.total_instances
+        clamped = self._clamp(target)
+        launched = drained = 0
+        if clamped > current:
+            for _ in range(clamped - current):
+                self.backend.launch_one()
+                launched += 1
+        elif clamped < current and target < current:
+            # Drain only when the *policy* asked for fewer instances.  A
+            # clamp-down alone can be a transient artifact: while an instance
+            # loads, the pool counts it twice (created + launching), so the
+            # observed total can exceed the ceiling without any real excess.
+            for _ in range(current - clamped):
+                if not self.backend.start_drain_one():
+                    break
+                drained += 1
+        if launched == 0 and drained == 0:
+            return
+        self.launches += launched
+        self.drains += drained
+        # Audit the scaling that actually started (a drain request can stop
+        # short when no further ready instance is drainable).
+        self.actions.append(
+            {"time": sample.time, "from": current,
+             "to": current + launched - drained, "reason": reason}
+        )
+
+    def snapshot(self) -> dict:
+        """Scale-event summary (surfaced by benchmarks and ``/metrics``)."""
+        return {
+            "model": self.model,
+            "policy": self.policy.name,
+            "min_instances": self.min_instances,
+            "max_instances": self.max_instances,
+            "launches": self.launches,
+            "drains": self.drains,
+            "actions": list(self.actions),
+        }

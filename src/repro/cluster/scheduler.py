@@ -95,6 +95,7 @@ class SchedulerBase:
         self._queue: List[JobHandle] = []
         self._running: Dict[str, JobHandle] = {}
         self._all_jobs: Dict[str, JobHandle] = {}
+        self.jobs_drained = 0
         self._wakeup = env.event()
         self._loop = env.process(self._scheduling_loop())
 
@@ -146,6 +147,40 @@ class SchedulerBase:
             self.cancel(job_id, reason="released before start")
             return
         self._end_job(handle, JobState.COMPLETED, "released")
+
+    def release_drained(self, job_id: str) -> None:
+        """Release a job whose instance the autoscaler drained.
+
+        Identical lifecycle to :meth:`release` but tagged so operators (and
+        leak tests) can tell planned scale-downs from walltime expiries and
+        crashes in the job history.
+        """
+        handle = self._lookup(job_id)
+        if handle.job.state.terminal:
+            return
+        self.jobs_drained += 1
+        if handle.job.state == JobState.QUEUED:
+            self.cancel(job_id, reason="drained before start")
+            return
+        self._end_job(handle, JobState.COMPLETED, "drained (scale-down)")
+
+    def gpu_seconds(self, now: Optional[float] = None) -> float:
+        """GPU-seconds consumed by every job this scheduler ever started.
+
+        Running jobs are charged up to ``now`` (defaults to the current
+        simulation time); this is the cost axis autoscaling benchmarks trade
+        against latency.
+        """
+        now = self.env.now if now is None else now
+        total = 0.0
+        for handle in self._all_jobs.values():
+            job = handle.job
+            if job.start_time is None:
+                continue
+            end = job.end_time if job.end_time is not None else now
+            gpus = job.request.num_nodes * job.request.gpus_per_node
+            total += max(0.0, end - job.start_time) * gpus
+        return total
 
     def get_job(self, job_id: str) -> Job:
         return self._lookup(job_id).job

@@ -3,6 +3,7 @@
 from . import calibration
 from .client import FIRSTClient
 from .deployment import (
+    AutoscaleConfig,
     ClusterDeploymentSpec,
     DeploymentConfig,
     FIRSTDeployment,
@@ -14,6 +15,7 @@ __all__ = [
     "DeploymentConfig",
     "ClusterDeploymentSpec",
     "ModelDeploymentSpec",
+    "AutoscaleConfig",
     "FIRSTClient",
     "calibration",
 ]

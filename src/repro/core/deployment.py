@@ -22,6 +22,7 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional
 
+from ..autoscale import AutoscaleConfig
 from ..auth import AccessPolicy, AuthServiceConfig, GlobusAuthLikeService, IdentityProvider
 from ..cluster import (
     Cluster,
@@ -50,7 +51,13 @@ from ..sim import Environment
 from . import calibration
 from .client import FIRSTClient
 
-__all__ = ["ModelDeploymentSpec", "ClusterDeploymentSpec", "DeploymentConfig", "FIRSTDeployment"]
+__all__ = [
+    "AutoscaleConfig",
+    "ModelDeploymentSpec",
+    "ClusterDeploymentSpec",
+    "DeploymentConfig",
+    "FIRSTDeployment",
+]
 
 
 @dataclass
@@ -64,6 +71,11 @@ class ModelDeploymentSpec:
     max_instances: int = 1
     max_parallel_tasks: int = calibration.DEFAULT_MAX_PARALLEL_TASKS
     hot_idle_timeout_s: float = 2 * 3600.0
+    #: Waiting tasks per ready instance that trigger reactive scale-up.
+    scale_up_queue_per_instance: int = 8
+    #: Autoscaling control plane for this model (``None`` = legacy reactive
+    #: queue-depth scale-up only; see :class:`repro.autoscale.AutoscaleConfig`).
+    autoscale: Optional[AutoscaleConfig] = None
 
     def to_hosting(self) -> ModelHostingConfig:
         return ModelHostingConfig(
@@ -74,6 +86,8 @@ class ModelDeploymentSpec:
             max_instances=self.max_instances,
             max_parallel_tasks=self.max_parallel_tasks,
             hot_idle_timeout_s=self.hot_idle_timeout_s,
+            scale_up_queue_per_instance=self.scale_up_queue_per_instance,
+            autoscale=self.autoscale,
         )
 
 
@@ -240,6 +254,10 @@ class FIRSTDeployment:
             database=self.database,
             ids=self.ids,
         )
+        # Close the control loop: the gateway's recent TTFT/ITL/latency
+        # medians become visible to every endpoint's autoscaling policies.
+        for endpoint in self.endpoints.values():
+            endpoint.attach_gateway_metrics(self.gateway.metrics)
 
     # ------------------------------------------------------------------ operations
     def client(self, user: str, scopes: Optional[List[str]] = None,

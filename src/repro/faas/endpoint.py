@@ -21,8 +21,15 @@ implements the configuration features of §3.2.2:
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional
+from typing import Dict, List, Optional, Set
 
+from ..autoscale import (
+    AutoscaleConfig,
+    AutoscaleController,
+    MetricsFeed,
+    ReplicaPool,
+    make_policy,
+)
 from ..cluster import JobRequest, JobState, SchedulerBase
 from ..common import ConfigurationError, IdGenerator, NotFoundError
 from ..serving import (
@@ -64,6 +71,10 @@ class ModelHostingConfig:
     walltime_s: float = 12 * 3600.0
     #: Queue depth (waiting tasks) per ready instance that triggers scale-up.
     scale_up_queue_per_instance: int = 8
+    #: Autoscaling control-plane configuration.  ``None`` keeps the legacy
+    #: demand-driven queue-depth behaviour (reactive scale-up only, no
+    #: periodic controller, scale-down via the hot-idle reaper).
+    autoscale: Optional[AutoscaleConfig] = None
 
 
 @dataclass
@@ -101,12 +112,15 @@ class ModelPoolStatus:
     starting_instances: int
     queued_jobs: int
     waiting_tasks: int
+    draining_instances: int = 0
 
     @property
     def state(self) -> str:
-        """Aggregate state string: running / starting / queued / cold."""
+        """Aggregate state string: running / draining / starting / queued / cold."""
         if self.running_instances > 0:
             return "running"
+        if self.draining_instances > 0:
+            return "draining"
         if self.starting_instances > 0:
             return "starting"
         if self.queued_jobs > 0:
@@ -121,13 +135,25 @@ class ModelPoolStatus:
             "state": self.state,
             "running_instances": self.running_instances,
             "starting_instances": self.starting_instances,
+            "draining_instances": self.draining_instances,
             "queued_jobs": self.queued_jobs,
             "waiting_tasks": self.waiting_tasks,
         }
 
 
+#: Cold-start guess used by the control plane before the pool has measured
+#: one (submit-to-ready: scheduler queue + prologue + model load).
+DEFAULT_COLD_START_ESTIMATE_S = 120.0
+
+
 class _ModelPool:
-    """Per-model instance pool with auto-scaling, hot-idle and health monitoring."""
+    """Per-model instance pool with hot-idle and health monitoring.
+
+    Scale decisions (up *and* down) are delegated to the autoscale control
+    plane: the pool implements the ``MetricsFeed`` source protocol and the
+    ``ReplicaPool`` backend protocol (``launch_one`` / ``start_drain_one``)
+    and never decides capacity itself.
+    """
 
     def __init__(self, endpoint: "ComputeEndpoint", hosting: ModelHostingConfig):
         self.endpoint = endpoint
@@ -141,7 +167,33 @@ class _ModelPool:
         self.queued_job_launches = 0
         self.waiting_tasks = 0
         self.restarts = 0
+        self.draining: Set[str] = set()
+        self.drained = 0
+        self.arrivals_total = 0
+        self.completions_total = 0
+        self._cold_start_observed: Optional[float] = None
         self._ready_signal: Event = self.env.event()
+
+        autoscale = hosting.autoscale
+        policy = make_policy(
+            autoscale or AutoscaleConfig(policy="queue_depth", scale_down=False),
+            queue_per_instance=hosting.scale_up_queue_per_instance,
+        )
+        self.feed = MetricsFeed(self.env, source=self)
+        self.replicas = ReplicaPool(
+            self.env,
+            self.feed,
+            policy,
+            backend=self,
+            min_instances=autoscale.min_instances if autoscale else 0,
+            max_instances=(
+                autoscale.max_instances
+                if autoscale and autoscale.max_instances is not None
+                else hosting.max_instances
+            ),
+        )
+        if autoscale is not None:
+            endpoint.autoscaler.add(self.replicas, autoscale.interval_s)
         self.env.process(self._monitor())
 
     # -- queries ---------------------------------------------------------------
@@ -163,21 +215,110 @@ class _ModelPool:
             ),
             queued_jobs=self.queued_job_launches,
             waiting_tasks=self.waiting_tasks,
+            draining_instances=len(self.draining),
         )
+
+    # -- metrics-feed source protocol ---------------------------------------------
+    @property
+    def model(self) -> str:
+        return self.hosting.model
+
+    @property
+    def ready_count(self) -> int:
+        return len(self.ready_instances)
+
+    @property
+    def draining_count(self) -> int:
+        return len(self.draining)
+
+    @property
+    def instance_count(self) -> int:
+        return len(self.instances)
+
+    @property
+    def launching_count(self) -> int:
+        return self.launching
+
+    @property
+    def provisioned_count(self) -> int:
+        """Deduplicated non-draining instance count: created instances plus
+        launches that have no instance object yet (job still queued)."""
+        created_loading = sum(
+            1 for i in self.instances if i.state == InstanceState.STARTING
+        )
+        return (
+            len(self.instances)
+            + max(0, self.launching - created_loading)
+            - len(self.draining)
+        )
+
+    @property
+    def in_flight_tasks(self) -> int:
+        return sum(slot.count for slot in self.slots.values())
+
+    @property
+    def slots_per_instance(self) -> int:
+        return self.hosting.max_parallel_tasks
+
+    @property
+    def kv_utilization(self) -> float:
+        pressure = 0.0
+        for instance in self.ready_instances:
+            kv = getattr(instance.engine, "kv", None)
+            if kv is not None:
+                pressure = max(pressure, kv.utilization)
+        return pressure
+
+    @property
+    def cold_start_estimate_s(self) -> float:
+        if self._cold_start_observed is not None:
+            return self._cold_start_observed
+        return DEFAULT_COLD_START_ESTIMATE_S
 
     # -- scaling -----------------------------------------------------------------
     def ensure_capacity(self) -> None:
-        """Launch instances if demand warrants it (auto-scaling policy)."""
-        total = len(self.instances) + self.launching
-        if total == 0:
-            self._launch()
-            return
-        ready = len(self.ready_instances)
-        if ready == 0:
-            return  # first instance still starting; don't pile on yet
-        saturated = self.waiting_tasks > ready * self.hosting.scale_up_queue_per_instance
-        if saturated and total < self.hosting.max_instances:
-            self._launch()
+        """Demand-driven control-plane check (a task is waiting)."""
+        self.replicas.reactive()
+
+    def launch_one(self) -> Event:
+        """ReplicaPool backend: launch one instance."""
+        return self._launch()
+
+    def _instance_load(self, instance) -> int:
+        """Held + queued slots: the load metric shared by admission placement
+        and drain-victim selection."""
+        slot_res = self.slots[instance.instance_id]
+        return slot_res.count + slot_res.queued
+
+    def start_drain_one(self) -> bool:
+        """ReplicaPool backend: drain-before-terminate one ready instance.
+
+        Picks the least-loaded ready instance, stops routing new work to it
+        and retires it (instance stop + scheduler job release) once every
+        in-flight request has finished.
+        """
+        candidates = self.ready_instances
+        if not candidates:
+            return False
+        instance = min(candidates, key=self._instance_load)
+        if not instance.drain():
+            return False
+        self.draining.add(instance.instance_id)
+        self.env.process(self._drain_proc(instance))
+        return True
+
+    def _drain_proc(self, instance):
+        poll = max(self.endpoint.config.poll_interval_s, 0.5)
+        while instance in self.instances:
+            slot = self.slots.get(instance.instance_id)
+            busy = instance.in_flight > 0 or (slot is not None and slot.count > 0)
+            if not busy:
+                break
+            yield self.env.timeout(poll)
+        self.draining.discard(instance.instance_id)
+        if instance in self.instances:
+            self.drained += 1
+            self._retire(instance, drained=True)
 
     def prewarm(self, count: int = 1) -> List[Event]:
         """Explicitly launch up to ``count`` instances (ignores demand)."""
@@ -196,6 +337,7 @@ class _ModelPool:
 
     def _launch_proc(self, done: Event):
         hosting = self.hosting
+        submit_time = self.env.now
         request = JobRequest(
             name=f"serve-{self.spec.name.split('/')[-1]}",
             num_nodes=hosting.nodes_per_instance,
@@ -228,6 +370,9 @@ class _ModelPool:
                 done.defuse()
             return
         self.launching -= 1
+        # Feed the control plane's cold-start estimate (submit → ready), the
+        # horizon the predictive policy pre-warms ahead by.
+        self._cold_start_observed = self.env.now - submit_time
         self.slots[instance.instance_id] = Resource(
             self.env, capacity=hosting.max_parallel_tasks
         )
@@ -256,6 +401,7 @@ class _ModelPool:
         :meth:`release` when done.
         """
         self.waiting_tasks += 1
+        self.arrivals_total += 1
         try:
             self.ensure_capacity()
             while True:
@@ -265,11 +411,7 @@ class _ModelPool:
                     # slot resource (held + queued), which updates synchronously
                     # at request time, so a burst of arrivals spreads across
                     # instances instead of piling onto the first one.
-                    def _load(inst):
-                        slot_res = self.slots[inst.instance_id]
-                        return slot_res.count + slot_res.queued
-
-                    instance = min(ready, key=_load)
+                    instance = min(ready, key=self._instance_load)
                     slot = self.slots[instance.instance_id]
                     request = slot.request()
                     yield request
@@ -284,6 +426,7 @@ class _ModelPool:
             self.waiting_tasks -= 1
 
     def release(self, instance, slot_request) -> None:
+        self.completions_total += 1
         slot = self.slots.get(instance.instance_id)
         if slot is not None:
             slot.release(slot_request)
@@ -312,12 +455,17 @@ class _ModelPool:
     def _restart_failed(self) -> None:
         for instance in list(self.instances):
             if instance.state == InstanceState.FAILED:
+                was_draining = instance.instance_id in self.draining
+                self.draining.discard(instance.instance_id)
                 self._retire(instance, failed=True)
+                if was_draining:
+                    # The autoscaler was retiring it anyway; don't relaunch.
+                    continue
                 self.restarts += 1
                 # Process-management scripts restart failed servers (§3.2.2).
                 self._launch()
 
-    def _retire(self, instance, failed: bool = False) -> None:
+    def _retire(self, instance, failed: bool = False, drained: bool = False) -> None:
         if instance in self.instances:
             self.instances.remove(instance)
         self.slots.pop(instance.instance_id, None)
@@ -325,9 +473,13 @@ class _ModelPool:
         if not failed:
             instance.stop()
         if handle is not None and not handle.job.state.terminal:
-            self.endpoint.scheduler.release(handle.job.job_id)
+            if drained:
+                self.endpoint.scheduler.release_drained(handle.job.job_id)
+            else:
+                self.endpoint.scheduler.release(handle.job.job_id)
 
     def shutdown(self) -> None:
+        self.draining.clear()
         for instance in list(self.instances):
             self._retire(instance)
 
@@ -360,6 +512,9 @@ class ComputeEndpoint:
         self.engine_config = engine_config or EngineConfig(generate_text=False)
         self.api_config = api_config or APIServerConfig()
         self._ids = ids or IdGenerator()
+        #: Control plane driving every pool with an ``AutoscaleConfig``;
+        #: legacy pools stay demand-driven and never register with it.
+        self.autoscaler = AutoscaleController(env)
         self.pools: Dict[str, _ModelPool] = {
             hosting.model: _ModelPool(self, hosting) for hosting in config.models
         }
@@ -410,6 +565,12 @@ class ComputeEndpoint:
     def prewarm(self, model: str, instances: int = 1) -> List[Event]:
         """Launch ``instances`` instances of ``model`` ahead of demand."""
         return self._pool(model).prewarm(instances)
+
+    def attach_gateway_metrics(self, metrics) -> None:
+        """Wire the gateway's metrics layer into every pool's control loop
+        (gateway-observed TTFT/ITL/latency medians reach the policies)."""
+        for pool in self.pools.values():
+            pool.feed.gateway_metrics = metrics
 
     def model_status(self, model: Optional[str] = None) -> List[ModelPoolStatus]:
         """Status of hosted models (backs the gateway's ``/jobs`` endpoint)."""
@@ -536,5 +697,6 @@ class ComputeEndpoint:
         return run_result
 
     def shutdown(self) -> None:
+        self.autoscaler.stop()
         for pool in self.pools.values():
             pool.shutdown()

@@ -338,7 +338,8 @@ class InferenceGatewayAPI:
             record.completed_requests = 0
             record.failed_requests = record.num_requests
             record.output_tokens = 0
-            self.metrics.batch_failed(record.model, record.num_requests)
+            self.metrics.batch_failed(record.model, record.num_requests,
+                                      reason=str(exc) or type(exc).__name__)
             return
         record.status = "completed"
         record.completed_at = self.env.now
@@ -346,8 +347,21 @@ class InferenceGatewayAPI:
         record.failed_requests = record.num_requests - run_result.num_completed
         record.output_tokens = run_result.total_output_tokens
         record.results = run_result.results
-        self.metrics.batch_completed(record.model, record.completed_requests,
-                                     record.output_tokens)
+        # Partial failures: keep the per-request reason so ``GET /v1/batches``
+        # can report which requests failed and why (typed envelopes), and the
+        # dashboard can bucket the reasons.
+        record.failure_reasons = {
+            r.request_id: r.error or "unknown failure"
+            for r in run_result.results
+            if not r.success
+        }
+        self.metrics.batch_completed(
+            record.model,
+            record.num_requests,
+            record.output_tokens,
+            failed_requests=record.failed_requests,
+            failure_reasons=record.failure_reasons,
+        )
         user = self.db.upsert_user(record.user)
         user["tokens"] += record.output_tokens
 

@@ -54,9 +54,23 @@ class BatchRecord:
     failed_requests: int = 0
     output_tokens: int = 0
     error: Optional[str] = None
+    #: Per-request failure reasons (request_id → reason string) for batches
+    #: that completed with partial failures.
+    failure_reasons: Dict[str, str] = field(default_factory=dict)
     results: List = field(default_factory=list)
 
     def to_dict(self) -> dict:
+        from .responses import envelope_for_reason
+
+        errors = None
+        if self.failure_reasons:
+            errors = {
+                "object": "list",
+                "data": [
+                    {"request_id": rid, "error": envelope_for_reason(reason)["error"]}
+                    for rid, reason in sorted(self.failure_reasons.items())
+                ],
+            }
         return {
             "id": self.batch_id,
             "object": "batch",
@@ -72,6 +86,7 @@ class BatchRecord:
             },
             "output_tokens": self.output_tokens,
             "error": self.error,
+            "errors": errors,
         }
 
 

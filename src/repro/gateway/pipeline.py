@@ -306,9 +306,17 @@ class DispatchMiddleware(Middleware):
             yield api.env.timeout(cfg.egress_processing_s)
 
         if ctx.streaming:
-            result.metadata["gateway_token_times"] = list(ctx.gateway_token_times)
-            if ctx.gateway_token_times:
-                result.metadata["gateway_first_token_time"] = ctx.gateway_token_times[0]
+            token_times = list(ctx.gateway_token_times)
+            result.metadata["gateway_token_times"] = token_times
+            if token_times:
+                result.metadata["gateway_first_token_time"] = token_times[0]
+                # Feed the metrics layer's rolling TTFT/ITL windows — the
+                # autoscaling control plane samples these medians.
+                api.metrics.record_stream_timing(
+                    ctx.model_name,
+                    token_times[0] - ctx.started_at,
+                    [b - a for a, b in zip(token_times, token_times[1:])],
+                )
         ctx.result = result
         yield from call_next(ctx)
 

@@ -30,7 +30,12 @@ from ..common import (
     ValidationError,
 )
 
-__all__ = ["error_envelope", "exception_from_envelope", "is_error_envelope"]
+__all__ = [
+    "error_envelope",
+    "envelope_for_reason",
+    "exception_from_envelope",
+    "is_error_envelope",
+]
 
 #: Exception class → (OpenAI-style error type, machine-readable code).
 _ERROR_TYPES: dict = {
@@ -68,6 +73,24 @@ def error_envelope(exc: BaseException) -> dict:
             "status": status,
         }
     }
+
+
+def envelope_for_reason(reason: str) -> dict:
+    """Map an engine/endpoint failure-reason *string* onto a typed envelope.
+
+    Per-request failures inside a batch surface as strings (the engine's
+    ``InferenceResult.error``), not exceptions; this classifies the known
+    reasons onto the same typed envelope vocabulary the interactive
+    endpoints use, so batch error reporting matches the rest of the API.
+    """
+    lowered = reason.lower()
+    if "kv cache" in lowered or "capacity" in lowered:
+        return error_envelope(CapacityError(reason))
+    if "engine stopped" in lowered or "not running" in lowered:
+        return error_envelope(CapacityError(reason))
+    if "not hosted" in lowered or "unknown model" in lowered:
+        return error_envelope(NotFoundError(reason))
+    return error_envelope(RuntimeError(reason))
 
 
 def is_error_envelope(obj) -> bool:

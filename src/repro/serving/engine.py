@@ -211,6 +211,7 @@ class ContinuousBatchingEngine:
         self._idle: Optional[Event] = None
         self._window: Optional[_Window] = None
         self._stopped = False
+        self._draining = False
         self._loop = env.process(self._run())
 
     # -- public API ----------------------------------------------------------
@@ -225,6 +226,29 @@ class ContinuousBatchingEngine:
         self.stats.prompt_tokens += request.prompt_tokens
         self._notify()
         return event
+
+    def drain(self) -> None:
+        """Scale-down notification: finish outstanding work, expect no more.
+
+        The autoscale control plane calls this when it begins drain-before-
+        terminate on the owning instance.  Queued and running sequences
+        complete normally (``stop()`` is the hard variant); the only engine-
+        level effect is that the scale event ends any *in-flight* macro-step
+        window the same way an admission does, so token counts and stats are
+        exact at the moment of the drain decision.  Later windows are
+        planned normally — completions bound them, so ``in_flight`` is
+        always exact at event boundaries, which is all the drain monitor
+        reads.  Simulated-time results are unchanged either way: window
+        splitting is equivalence-preserving.
+        """
+        if self._stopped or self._draining:
+            return
+        self._draining = True
+        self._notify()
+
+    @property
+    def draining(self) -> bool:
+        return self._draining
 
     def stop(self) -> None:
         """Stop accepting requests and fail anything still queued or running."""

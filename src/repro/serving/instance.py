@@ -32,6 +32,9 @@ class InstanceState(str, enum.Enum):
 
     STARTING = "starting"
     RUNNING = "running"
+    #: Finishing in-flight work before a scale-down retirement; accepts no
+    #: new requests (``is_ready`` is False).
+    DRAINING = "draining"
     STOPPED = "stopped"
     FAILED = "failed"
 
@@ -143,6 +146,19 @@ class ServingInstance:
         self.started_at = self.env.now
         if not self.ready.triggered:
             self.ready.succeed(self)
+
+    def drain(self) -> bool:
+        """Stop accepting new requests; in-flight work runs to completion.
+
+        Returns whether the instance transitioned (only RUNNING instances
+        drain).  The owner retires the instance once ``in_flight`` reaches 0.
+        """
+        if self.state != InstanceState.RUNNING:
+            return False
+        self.state = InstanceState.DRAINING
+        if self.engine is not None:
+            self.engine.drain()
+        return True
 
     def stop(self) -> None:
         """Release GPUs and stop the engine."""
@@ -275,6 +291,13 @@ class EmbeddingServingInstance:
     @property
     def idle_for_s(self) -> float:
         return self.env.now - self.last_request_time
+
+    def drain(self) -> bool:
+        """Same drain protocol as :class:`ServingInstance`."""
+        if self.state != InstanceState.RUNNING:
+            return False
+        self.state = InstanceState.DRAINING
+        return True
 
     def submit(self, request: InferenceRequest) -> Event:
         if not self.is_ready:

@@ -7,8 +7,11 @@ and JSONL batch-input handling.
 
 from .arrivals import (
     ArrivalProcess,
+    DiurnalArrival,
     InfiniteArrival,
     PoissonArrival,
+    RampArrival,
+    TraceReplayArrival,
     UniformArrival,
     make_arrival,
 )
@@ -24,6 +27,9 @@ __all__ = [
     "InfiniteArrival",
     "PoissonArrival",
     "UniformArrival",
+    "DiurnalArrival",
+    "RampArrival",
+    "TraceReplayArrival",
     "make_arrival",
     "BenchmarkClient",
     "requests_to_jsonl",

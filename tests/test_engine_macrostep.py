@@ -57,7 +57,7 @@ def make_engine(env, macro, spec=SPEC_70B, tp=8, kv_capacity=None, max_num_seqs=
 
 
 def run_trace(macro, requests, offsets, kv_capacity=None, stream_indices=(),
-              stop_at=None, max_num_seqs=256):
+              stop_at=None, drain_at=None, max_num_seqs=256):
     """Drive one engine over a timed workload; returns the full golden trace."""
     env = Environment()
     engine = make_engine(env, macro, kv_capacity=kv_capacity,
@@ -90,9 +90,15 @@ def run_trace(macro, requests, offsets, kv_capacity=None, stream_indices=(),
         yield env.timeout(stop_at)
         engine.stop()
 
+    def drainer(env):
+        yield env.timeout(drain_at)
+        engine.drain()
+
     env.process(driver(env))
     if stop_at is not None:
         env.process(stopper(env))
+    if drain_at is not None:
+        env.process(drainer(env))
     env.run()
     traces = [result_trace(ev.value) for ev in events]
     return {
@@ -272,6 +278,52 @@ def test_property_macro_equivalence_under_bounded_concurrency(n, rate, max_seqs)
                        offsets, max_num_seqs=max_seqs)
     macro = run_trace(True, workload.generate(SPEC_8B.name, num_requests=n),
                       offsets, max_num_seqs=max_seqs)
+    assert macro == golden
+
+
+def test_golden_trace_controller_drain_mid_window():
+    """An autoscale controller draining the engine mid-macro-window (a scale
+    event) splits the window like an admission does; every request still
+    completes with timings bit-identical to the per-token engine."""
+    lengths = [(100, 300), (120, 280), (90, 260), (110, 240)]
+    offsets = [0.0, 0.0, 0.5, 0.5]
+    golden = run_trace(False, fresh_requests(lengths), offsets, drain_at=7.0)
+    macro = run_trace(True, fresh_requests(lengths), offsets, drain_at=7.0)
+    assert macro == golden
+    assert all(trace[1] for trace in macro["results"])  # all succeeded
+
+
+def test_golden_trace_drain_then_stop():
+    """Scale-down drain followed by a hard terminate: partial progress at the
+    stop must match the reference engine exactly."""
+    lengths = [(100, 300), (120, 280), (90, 260), (110, 240)]
+    offsets = [0.0, 0.0, 0.5, 0.5]
+    golden = run_trace(False, fresh_requests(lengths), offsets,
+                       drain_at=3.0, stop_at=9.0)
+    macro = run_trace(True, fresh_requests(lengths), offsets,
+                      drain_at=3.0, stop_at=9.0)
+    # Same queue-drain caveat as test_golden_trace_stop_mid_run.
+    golden.pop("end_time")
+    macro.pop("end_time")
+    assert macro == golden
+
+
+@settings(max_examples=15, deadline=None)
+@given(
+    drain_at=st.floats(min_value=0.1, max_value=60.0),
+    rate=st.floats(min_value=0.5, max_value=8.0),
+    n=st.integers(min_value=2, max_value=20),
+)
+def test_property_drain_is_equivalence_preserving(drain_at, rate, n):
+    """Wherever the controller's scale event lands — inside a window, at a
+    boundary, before admission, after completion — splitting the window must
+    not perturb any simulated timing."""
+    workload = ShareGPTWorkload()
+    offsets = PoissonArrival(rate=rate, seed=5).offsets(n)
+    golden = run_trace(False, workload.generate(SPEC_70B.name, num_requests=n),
+                       offsets, drain_at=drain_at)
+    macro = run_trace(True, workload.generate(SPEC_70B.name, num_requests=n),
+                      offsets, drain_at=drain_at)
     assert macro == golden
 
 

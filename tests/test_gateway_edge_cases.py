@@ -222,6 +222,73 @@ def test_failed_batch_records_counts_and_dashboard_failure():
     assert d.gateway.dashboard()["batches_failed"] == 1
 
 
+def test_batch_partial_failure_reports_per_request_reasons():
+    """A batch that completes with some failed requests surfaces which
+    requests failed and why — typed envelopes on ``GET /v1/batches/{id}``,
+    bucketed reasons on the dashboard."""
+    from repro.serving import InferenceResult, OfflineRunResult
+    from repro.workload import ShareGPTWorkload, requests_to_jsonl
+
+    config = DeploymentConfig(
+        clusters=[
+            ClusterDeploymentSpec(
+                name="c1", kind="small", num_nodes=2, scheduler="local",
+                models=[ModelDeploymentSpec(MODEL_7B, max_parallel_tasks=32)],
+            ),
+        ],
+        users=["researcher@anl.gov"],
+        generate_text=False,
+    )
+    d = FIRSTDeployment(config)
+    client = d.client("researcher@anl.gov")
+    requests = ShareGPTWorkload().generate(MODEL_7B, num_requests=3, id_prefix="pf")
+
+    def result(req, success, error=None):
+        return InferenceResult(
+            request_id=req.request_id, model=req.model,
+            prompt_tokens=req.prompt_tokens,
+            output_tokens=req.max_output_tokens if success else 0,
+            success=success, error=error,
+        )
+
+    run_result = OfflineRunResult(
+        results=[result(requests[0], True),
+                 result(requests[1], False, "KV cache exhausted"),
+                 result(requests[2], False, "inference server crashed")],
+        load_time_s=10.0, processing_time_s=5.0,
+    )
+
+    # Stub the compute layer: this test exercises the gateway's partial-
+    # failure accounting, not the batch execution path itself.
+    d.gateway.compute_client.submit = lambda *a, **k: object()
+
+    def fake_wait(future):
+        yield d.env.timeout(1.0)
+        return run_result
+
+    d.gateway.compute_client.wait_future = fake_wait
+
+    batch = client.create_batch(requests_to_jsonl(requests))
+    final = client.wait_for_batch(batch["id"], poll_every_s=5.0)
+
+    assert final["status"] == "completed"
+    assert final["request_counts"] == {"total": 3, "completed": 1, "failed": 2}
+    errors = {e["request_id"]: e["error"] for e in final["errors"]["data"]}
+    assert set(errors) == {requests[1].request_id, requests[2].request_id}
+    assert errors[requests[1].request_id]["type"] == "overloaded_error"
+    assert "KV cache exhausted" in errors[requests[1].request_id]["message"]
+    assert errors[requests[2].request_id]["type"] == "internal_error"
+
+    dashboard = d.gateway.dashboard()
+    assert dashboard["batches_completed"] == 1
+    assert dashboard["batch_requests_completed"] == 1
+    assert dashboard["batch_requests_failed"] == 2
+    assert dashboard["batch_failure_reasons"] == {
+        "KV cache exhausted": 1,
+        "inference server crashed": 1,
+    }
+
+
 def test_completed_batch_counts_in_dashboard(deployment):
     from repro.workload import ShareGPTWorkload, requests_to_jsonl
 
