@@ -89,7 +89,29 @@ def main() -> None:
     for job in client.jobs():
         print(f"  {job['model']:<40s} {job['state']}")
 
-    # 9. Shifting-traffic workloads: beyond fixed-rate arrivals, the
+    # 9. Federation v2: every routing decision reads the placement plane's
+    #    shared TopologyView — one event-refreshed aggregate of pool state,
+    #    cluster free-nodes/GPU-seconds and gateway-observed latency medians
+    #    per (model, endpoint).  The dashboard's routing block summarises
+    #    where decisions went and which rule placed them.
+    signal = deployment.topology.pool_signal("ep-devcluster", CHAT_MODEL)
+    print(f"\nPlacement signal for {CHAT_MODEL} on ep-devcluster:")
+    print(f"  state={signal.state} ready={signal.ready_instances} "
+          f"waiting={signal.waiting_tasks} busy={signal.busy_fraction:.2f} "
+          f"p50={signal.latency_p50_s and round(signal.latency_p50_s, 2)}s")
+    routing = dashboard["routing"]
+    print(f"  routing: policy={routing['policy']} total={routing['total']} "
+          f"by_rule={routing['by_rule']}")
+    #    Beyond the paper's priority rule, `repro.placement` ships a
+    #    LeastLoadedRouter, an SLO-aware SLORouter (sheds to a secondary
+    #    cluster while the primary's p50 breaches a per-tenant SLO), a
+    #    `federated` autoscaling policy that shifts replicas across clusters
+    #    on queue imbalance, and per-tenant capacity reservations as a
+    #    pipeline stage — see examples/federated_slo_routing.py for a
+    #    two-cluster demo (and `FIRSTClient.retry_batch` to resubmit just
+    #    the failed requests of a batch).
+
+    # 10. Shifting-traffic workloads: beyond fixed-rate arrivals, the
     #    workload package generates diurnal day/night cycles, linear ramps
     #    and trace replays — the shapes the autoscaling control plane is
     #    benchmarked against (see examples/autoscaling_policies.py).

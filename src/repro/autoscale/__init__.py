@@ -9,9 +9,11 @@ per-model replica counts:
 * :class:`ScalingPolicy` implementations map samples to replica targets —
   :class:`QueueDepthPolicy` (the legacy endpoint heuristic, extracted),
   :class:`TargetUtilizationPolicy` (PID-style with cooldown/hysteresis),
-  :class:`ScheduledPolicy` (cron-like capacity plans) and
+  :class:`ScheduledPolicy` (cron-like capacity plans),
   :class:`PredictivePolicy` (EWMA/Holt arrival forecast that pre-warms one
-  cold start ahead of ramps);
+  cold start ahead of ramps) and :class:`FederationScalingPolicy`
+  (cross-cluster capacity shifting over the placement plane's shared
+  :class:`~repro.placement.TopologyView`);
 * :class:`ReplicaPool` actuates targets (launch / drain-before-terminate)
   against the endpoint's instance pool;
 * :class:`AutoscaleController` runs the periodic control loops.
@@ -25,6 +27,7 @@ from .controller import AutoscaleController
 from .metrics import MetricsFeed, MetricsSample
 from .policy import (
     POLICIES,
+    FederationScalingPolicy,
     PredictivePolicy,
     QueueDepthPolicy,
     ScalingDecision,
@@ -48,6 +51,7 @@ __all__ = [
     "TargetUtilizationPolicy",
     "ScheduledPolicy",
     "PredictivePolicy",
+    "FederationScalingPolicy",
     "POLICIES",
     "register_policy",
     "make_policy",

@@ -66,6 +66,13 @@ class AutoscaleConfig:
     #: Anchor of the plan's t=0 (e.g. local midnight, or when traffic opens).
     schedule_epoch_s: float = 0.0
 
+    # -- federated (cross-cluster shifting) policy ---------------------------
+    #: How much hotter (queue per ready instance) a sibling cluster must be
+    #: than this one before this cluster donates a replica.
+    imbalance_ratio: float = 2.0
+    #: How long a queue imbalance must hold before capacity shifts.
+    imbalance_hold_s: float = 45.0
+
     # -- predictive (EWMA/Holt forecast) policy ------------------------------
     #: Level smoothing factor for the arrival-rate EWMA.
     ewma_alpha: float = 0.35

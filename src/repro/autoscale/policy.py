@@ -35,6 +35,7 @@ __all__ = [
     "TargetUtilizationPolicy",
     "ScheduledPolicy",
     "PredictivePolicy",
+    "FederationScalingPolicy",
     "POLICIES",
     "register_policy",
     "make_policy",
@@ -340,6 +341,159 @@ class PredictivePolicy(ScalingPolicy):
         return ScalingDecision(total)
 
 
+class FederationScalingPolicy(QueueDepthPolicy):
+    """Cross-cluster scaling over the shared placement-plane view.
+
+    Locally the policy *is* a :class:`QueueDepthPolicy` (reactive scale-up
+    at ``queue_per_instance`` waiting tasks per ready instance, hold-based
+    quiet scale-down — both inherited).
+    Once bound to a :class:`~repro.placement.TopologyView` (the view calls
+    :meth:`bind_topology` when the owning endpoint joins the federation) it
+    additionally *shifts* replica targets across clusters on sustained queue
+    imbalance:
+
+    * **recipient (pre-warm)** — a sibling cluster's queue per ready
+      instance has exceeded the local scale-up threshold for
+      ``imbalance_hold_s`` while this cluster has no spare ready capacity
+      to absorb the overflow: launch one replica *before* the router sheds
+      traffic here, hiding the cold start behind the sibling's backlog;
+    * **donor (give-back)** — this cluster has been fully idle for
+      ``scale_down_hold_s`` while no sibling needs it hot
+      (every sibling's pressure is below ``queue_per_instance /
+      imbalance_ratio``): drain one replica (drain-before-terminate via the
+      standard actuator path), returning the shifted capacity.
+
+    Without a bound view the policy degrades to plain queue-depth behaviour
+    with hold-based quiet scale-down, so it is safe as a per-model default
+    on single-cluster deployments.
+    """
+
+    name = "federated"
+
+    def __init__(self, queue_per_instance: int = 8,
+                 scale_down_hold_s: float = 60.0,
+                 imbalance_ratio: float = 2.0,
+                 imbalance_hold_s: float = 45.0):
+        super().__init__(queue_per_instance=queue_per_instance, scale_down=True,
+                         scale_down_hold_s=scale_down_hold_s)
+        if imbalance_ratio < 1.0:
+            raise ValueError("imbalance_ratio must be >= 1")
+        self.imbalance_ratio = imbalance_ratio
+        self.imbalance_hold_s = imbalance_hold_s
+        self.view = None
+        self.endpoint_id: Optional[str] = None
+        self.cluster: Optional[str] = None
+        self.model: Optional[str] = None
+        self._receive_since: Optional[float] = None
+        self._idle_since: Optional[float] = None
+        #: Audit counters for benchmarks/tests.
+        self.shifts_in = 0
+        self.shifts_out = 0
+
+    def bind_topology(self, view, endpoint_id: str, cluster: str, model: str) -> None:
+        """Attach the shared fleet view (called by ``TopologyView``)."""
+        self.view = view
+        self.endpoint_id = endpoint_id
+        self.cluster = cluster
+        self.model = model
+
+    def unbind_topology(self) -> None:
+        """Detach from the fleet view (the endpoint left the federation):
+        no more cross-cluster shifting, plain queue-depth behaviour stays."""
+        self.view = None
+        self.endpoint_id = None
+        self.cluster = None
+        self.model = None
+        self._receive_since = None
+        self._idle_since = None
+
+    # -- local heuristics -----------------------------------------------------
+    def _sibling_signals(self):
+        if self.view is None or self.model is None:
+            return []
+        return [
+            sig for entry, sig in self.view.candidates(self.model)
+            if sig is not None and entry.endpoint_id != self.endpoint_id
+        ]
+
+    @staticmethod
+    def _pressure(sig) -> float:
+        """A sibling's queue pressure, tolerant of cold pools."""
+        if sig.ready_instances <= 0:
+            return float(sig.waiting_tasks)
+        return sig.queue_per_ready
+
+    # -- decisions -------------------------------------------------------------
+    def decide(self, sample: MetricsSample) -> ScalingDecision:
+        now = sample.time
+        total = sample.total_instances
+
+        # Local saturation wins: behave exactly like the queue-depth heuristic.
+        target = self.reactive(sample)
+        if target > total:
+            self._receive_since = self._idle_since = self._quiet_since = None
+            return ScalingDecision(target, "queue depth over threshold")
+
+        siblings = self._sibling_signals()
+        hot = max((self._pressure(s) for s in siblings), default=0.0)
+        my_pressure = (
+            sample.waiting_tasks / sample.ready_instances
+            if sample.ready_instances > 0 else float(sample.waiting_tasks)
+        )
+
+        # Recipient (pre-warm): a sibling is drowning while this cluster has
+        # no spare ready capacity for the overflow — bring a replica up
+        # *before* the router starts shedding here, so the cold start hides
+        # behind the sibling's backlog instead of adding to a request's wait.
+        spare_slots = (
+            sample.ready_instances * sample.slots_per_instance
+            - sample.in_flight_tasks - sample.waiting_tasks
+        )
+        receiving = (
+            siblings
+            and hot > self.queue_per_instance
+            and hot >= self.imbalance_ratio * max(my_pressure, 1.0)
+            and spare_slots < sample.slots_per_instance
+            and sample.starting_instances == 0
+        )
+        if receiving:
+            if self._receive_since is None:
+                self._receive_since = now
+            if now - self._receive_since >= self.imbalance_hold_s:
+                self._receive_since = None
+                self.shifts_in += 1
+                return ScalingDecision(
+                    total + 1, "queue imbalance: shifting capacity to this cluster"
+                )
+            return ScalingDecision(total)
+        self._receive_since = None
+
+        # Donor (give-back): fully idle here and no sibling hot enough to
+        # shed this way — return the shifted capacity (down to the clamp's
+        # floor, possibly zero for a spill cluster).
+        sibling_needs_me = hot > self.queue_per_instance / self.imbalance_ratio
+        fully_idle = (
+            sample.ready_instances > 0
+            and sample.waiting_tasks == 0
+            and sample.in_flight_tasks == 0
+        )
+        if siblings and fully_idle and not sibling_needs_me:
+            if self._idle_since is None:
+                self._idle_since = now
+            if now - self._idle_since >= self.scale_down_hold_s:
+                self._idle_since = None
+                self.shifts_out += 1
+                return ScalingDecision(
+                    total - 1, "fleet calm: returning shifted capacity"
+                )
+            return ScalingDecision(total)
+        self._idle_since = None
+
+        # Plain quiet scale-down: light load that fits on one fewer instance
+        # drains the excess — inherited verbatim from QueueDepthPolicy.
+        return super().decide(sample)
+
+
 #: Policy-name registry: ``AutoscaleConfig.policy`` → factory taking
 #: ``(config, defaults)`` where ``defaults`` carries hosting-derived values.
 POLICIES: Dict[str, Callable[[AutoscaleConfig, dict], ScalingPolicy]] = {}
@@ -367,6 +521,12 @@ register_policy("scheduled", lambda cfg, d: ScheduledPolicy(
     schedule=cfg.schedule,
     period_s=cfg.schedule_period_s,
     epoch_s=cfg.schedule_epoch_s,
+))
+register_policy("federated", lambda cfg, d: FederationScalingPolicy(
+    queue_per_instance=cfg.queue_per_instance or d.get("queue_per_instance", 8),
+    scale_down_hold_s=cfg.scale_down_hold_s,
+    imbalance_ratio=cfg.imbalance_ratio,
+    imbalance_hold_s=cfg.imbalance_hold_s,
 ))
 register_policy("predictive", lambda cfg, d: PredictivePolicy(
     alpha=cfg.ewma_alpha,

@@ -46,6 +46,7 @@ from ..faas import (
 )
 from ..federation import FederationRegistry, FederationRouter, PriorityRouter
 from ..gateway import GatewayConfig, GatewayDatabase, InferenceGatewayAPI
+from ..placement import TopologyView
 from ..serving import ModelCatalog, default_catalog
 from ..sim import Environment
 from . import calibration
@@ -233,7 +234,11 @@ class FIRSTDeployment:
             self.endpoints[endpoint.endpoint_id] = endpoint
 
     def _build_gateway(self) -> None:
-        self.router: FederationRouter = PriorityRouter(self.registry)
+        # The placement plane's shared fleet view: one event-refreshed
+        # aggregate of pool/cluster/latency signals that the router, the
+        # federation-aware scaling policies and the reservation stage share.
+        self.topology = TopologyView(self.env, self.registry)
+        self.router: FederationRouter = PriorityRouter(self.topology)
         self.compute_client = ComputeClient(
             self.env,
             self.relay,
@@ -253,9 +258,12 @@ class FIRSTDeployment:
             config=self.config.gateway,
             database=self.database,
             ids=self.ids,
+            topology=self.topology,
         )
         # Close the control loop: the gateway's recent TTFT/ITL/latency
-        # medians become visible to every endpoint's autoscaling policies.
+        # medians become visible to every endpoint's autoscaling policies
+        # and to the placement plane's pool signals.
+        self.topology.gateway_metrics = self.gateway.metrics
         for endpoint in self.endpoints.values():
             endpoint.attach_gateway_metrics(self.gateway.metrics)
 

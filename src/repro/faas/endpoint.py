@@ -173,6 +173,9 @@ class _ModelPool:
         self.completions_total = 0
         self._cold_start_observed: Optional[float] = None
         self._ready_signal: Event = self.env.event()
+        #: Placement-plane observers notified (with the pool) whenever the
+        #: pool's observable state changes; see ``TopologyView``.
+        self._observers: List = []
 
         autoscale = hosting.autoscale
         policy = make_policy(
@@ -195,6 +198,21 @@ class _ModelPool:
         if autoscale is not None:
             endpoint.autoscaler.add(self.replicas, autoscale.interval_s)
         self.env.process(self._monitor())
+
+    # -- placement-plane observation ----------------------------------------------
+    def add_observer(self, callback) -> None:
+        """Subscribe ``callback(pool)`` to state-change notifications."""
+        if callback not in self._observers:
+            self._observers.append(callback)
+
+    def remove_observer(self, callback) -> None:
+        if callback in self._observers:
+            self._observers.remove(callback)
+
+    def _touch(self) -> None:
+        """Notify observers that the pool's observable state changed."""
+        for callback in self._observers:
+            callback(self)
 
     # -- queries ---------------------------------------------------------------
     @property
@@ -304,6 +322,7 @@ class _ModelPool:
         if not instance.drain():
             return False
         self.draining.add(instance.instance_id)
+        self._touch()
         self.env.process(self._drain_proc(instance))
         return True
 
@@ -316,6 +335,7 @@ class _ModelPool:
                 break
             yield self.env.timeout(poll)
         self.draining.discard(instance.instance_id)
+        self._touch()
         if instance in self.instances:
             self.drained += 1
             self._retire(instance, drained=True)
@@ -332,6 +352,7 @@ class _ModelPool:
         done = self.env.event()
         self.launching += 1
         self.queued_job_launches += 1
+        self._touch()
         self.env.process(self._launch_proc(done))
         return done
 
@@ -351,6 +372,7 @@ class _ModelPool:
         except RuntimeError as exc:
             self.launching -= 1
             self.queued_job_launches -= 1
+            self._touch()
             if not done.triggered:
                 done.fail(exc)
                 done.defuse()
@@ -359,12 +381,14 @@ class _ModelPool:
         instance = self.endpoint.create_instance(self.spec, hosting, nodes)
         self.jobs[instance.instance_id] = handle
         self.instances.append(instance)
+        self._touch()
         try:
             yield instance.ready
         except RuntimeError as exc:
             self.launching -= 1
             self.instances.remove(instance)
             self.endpoint.scheduler.release(handle.job.job_id)
+            self._touch()
             if not done.triggered:
                 done.fail(exc)
                 done.defuse()
@@ -377,6 +401,7 @@ class _ModelPool:
             self.env, capacity=hosting.max_parallel_tasks
         )
         self._signal_ready()
+        self._touch()
         self.env.process(self._watch_job(instance, handle))
         if not done.triggered:
             done.succeed(instance)
@@ -387,6 +412,7 @@ class _ModelPool:
         yield handle.finished
         if instance.state == InstanceState.RUNNING:
             instance.fail("scheduler job ended (walltime or node failure)")
+            self._touch()
 
     def _signal_ready(self) -> None:
         if not self._ready_signal.triggered:
@@ -402,6 +428,7 @@ class _ModelPool:
         """
         self.waiting_tasks += 1
         self.arrivals_total += 1
+        self._touch()
         try:
             self.ensure_capacity()
             while True:
@@ -424,12 +451,14 @@ class _ModelPool:
                     yield signal
         finally:
             self.waiting_tasks -= 1
+            self._touch()
 
     def release(self, instance, slot_request) -> None:
         self.completions_total += 1
         slot = self.slots.get(instance.instance_id)
         if slot is not None:
             slot.release(slot_request)
+        self._touch()
 
     # -- monitors ----------------------------------------------------------------------
     def _monitor(self):
@@ -477,6 +506,7 @@ class _ModelPool:
                 self.endpoint.scheduler.release_drained(handle.job.job_id)
             else:
                 self.endpoint.scheduler.release(handle.job.job_id)
+        self._touch()
 
     def shutdown(self) -> None:
         self.draining.clear()

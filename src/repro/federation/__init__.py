@@ -1,19 +1,27 @@
-"""Federation layer: endpoint registry and routing policies (§4.5)."""
+"""Federation layer: endpoint registry and routing policies (§4.5).
+
+The concrete routing policies moved onto the placement plane in
+Federation v2 (:mod:`repro.placement`); they are re-exported here so
+existing ``from repro.federation import PriorityRouter`` call sites keep
+working.
+"""
 
 from .registry import FederatedEndpoint, FederationRegistry
 from .router import (
     FederationRouter,
     FirstConfiguredRouter,
-    PriorityRouter,
     RandomRouter,
     RoutingDecision,
 )
+from ..placement.policies import LeastLoadedRouter, PriorityRouter, SLORouter
 
 __all__ = [
     "FederationRegistry",
     "FederatedEndpoint",
     "FederationRouter",
     "PriorityRouter",
+    "LeastLoadedRouter",
+    "SLORouter",
     "RandomRouter",
     "FirstConfiguredRouter",
     "RoutingDecision",

@@ -43,10 +43,26 @@ class FederatedEndpoint:
 
 
 class FederationRegistry:
-    """Ordered collection of federated endpoints."""
+    """Ordered collection of federated endpoints.
+
+    Observers (the placement plane's :class:`~repro.placement.TopologyView`)
+    can :meth:`subscribe` to be told when endpoints join or leave the
+    federation, so their per-endpoint state attaches and detaches with the
+    membership instead of being rebuilt per request.
+    """
 
     def __init__(self):
         self._entries: List[FederatedEndpoint] = []
+        self._observers: List[object] = []
+
+    def subscribe(self, observer) -> None:
+        """Register an observer with ``on_register``/``on_deregister`` hooks."""
+        if observer not in self._observers:
+            self._observers.append(observer)
+
+    def unsubscribe(self, observer) -> None:
+        if observer in self._observers:
+            self._observers.remove(observer)
 
     def register(self, endpoint: ComputeEndpoint,
                  status_provider: FacilityStatusProvider) -> FederatedEndpoint:
@@ -56,6 +72,8 @@ class FederationRegistry:
             priority=len(self._entries),
         )
         self._entries.append(entry)
+        for observer in self._observers:
+            observer.on_register(entry)
         return entry
 
     @property
@@ -82,6 +100,8 @@ class FederationRegistry:
         """
         entry = self.get(endpoint_id)
         self._entries.remove(entry)
+        for observer in self._observers:
+            observer.on_deregister(entry)
         return entry
 
     @property

@@ -1,25 +1,30 @@
 """Federated endpoint selection.
 
-The paper's proof-of-concept federation algorithm (§4.5):
+Since Federation v2 the concrete policies live on the placement plane
+(:mod:`repro.placement.policies`): the paper's §4.5 priority rule, a
+least-loaded router and an SLO-aware router all read the shared
+:class:`~repro.placement.TopologyView` instead of probing endpoint and
+scheduler state privately.  This module keeps the policy-agnostic base —
+the select/record machinery every router shares — plus the two stateless
+ablation policies (random, first-configured-always) used by
+``benchmarks/bench_federation.py``.
 
-1. prefer an endpoint where the requested model is already **running or
-   queued** (low latency: no cold start);
-2. otherwise prefer an endpoint whose cluster has **free nodes**;
-3. otherwise fall back to the **first endpoint configured** for the model.
-
-Two alternative policies (random, first-configured-always) are provided for
-the ablation benchmark in ``benchmarks/bench_federation.py``.
+Routing decisions are kept in a *bounded* deque (long sweeps used to grow
+the log without limit); cumulative per-endpoint/per-rule counters survive
+the eviction and are surfaced on the gateway dashboard via
+:meth:`FederationRouter.summary`.
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
-from typing import Dict, List, Optional
+from collections import Counter, deque
+from dataclasses import dataclass
+from typing import Deque, List, Optional
 
 from ..common import NotFoundError, RandomSource
 from .registry import FederatedEndpoint, FederationRegistry
 
-__all__ = ["RoutingDecision", "FederationRouter", "PriorityRouter", "RandomRouter",
+__all__ = ["RoutingDecision", "FederationRouter", "RandomRouter",
            "FirstConfiguredRouter"]
 
 
@@ -32,6 +37,7 @@ class RoutingDecision:
     cluster: str
     rule: str
     candidates: int
+    tenant: Optional[str] = None
 
     def to_dict(self) -> dict:
         return {
@@ -40,6 +46,7 @@ class RoutingDecision:
             "cluster": self.cluster,
             "rule": self.rule,
             "candidates": self.candidates,
+            "tenant": self.tenant,
         }
 
 
@@ -48,50 +55,54 @@ class FederationRouter:
 
     policy_name = "base"
 
-    def __init__(self, registry: FederationRegistry):
+    def __init__(self, registry: FederationRegistry, max_decisions: int = 512):
         self.registry = registry
-        self.decisions: List[RoutingDecision] = []
+        #: Bounded log of the most recent decisions (observability; the
+        #: cumulative counters below never evict).
+        self.decisions: Deque[RoutingDecision] = deque(maxlen=max_decisions)
+        self.decisions_total = 0
+        self.decisions_by_endpoint: Counter = Counter()
+        self.decisions_by_rule: Counter = Counter()
 
-    def select(self, model: str):
-        """Simulation process: choose an endpoint for ``model``."""
+    def select(self, model: str, tenant: Optional[str] = None):
+        """Simulation process: choose an endpoint for ``model``.
+
+        ``tenant`` is the authenticated caller; tenant-aware policies (the
+        SLO router) use it to pick the applicable SLO, everything else may
+        ignore it.
+        """
         candidates = self.registry.endpoints_for_model(model)
         if not candidates:
             raise NotFoundError(f"No federated endpoint hosts model {model}")
-        chosen, rule = yield from self._choose(model, candidates)
+        chosen, rule = yield from self._choose(model, candidates, tenant)
         decision = RoutingDecision(
             model=model,
             endpoint_id=chosen.endpoint_id,
             cluster=chosen.cluster,
             rule=rule,
             candidates=len(candidates),
+            tenant=tenant,
         )
         self.decisions.append(decision)
+        self.decisions_total += 1
+        self.decisions_by_endpoint[chosen.endpoint_id] += 1
+        self.decisions_by_rule[rule] += 1
         return chosen.endpoint
 
-    def _choose(self, model: str, candidates: List[FederatedEndpoint]):
+    def _choose(self, model: str, candidates: List[FederatedEndpoint],
+                tenant: Optional[str] = None):
         raise NotImplementedError
         yield  # pragma: no cover
 
-
-class PriorityRouter(FederationRouter):
-    """The paper's priority-based selection algorithm."""
-
-    policy_name = "priority"
-
-    def _choose(self, model: str, candidates: List[FederatedEndpoint]):
-        # Rule 1: model already running or queued somewhere.
-        for entry in candidates:
-            statuses = entry.endpoint.model_status(model)
-            if any(s.state in ("running", "starting", "queued") for s in statuses):
-                return entry, "active-instance"
-        # Rule 2: a cluster with available nodes.
-        for entry in candidates:
-            status = yield from entry.status_provider.query()
-            if status.free_nodes > 0:
-                return entry, "free-nodes"
-        # Rule 3: the first endpoint configured for the model.
-        return candidates[0], "first-configured"
-        yield  # pragma: no cover (keeps this a generator even without queries)
+    def summary(self) -> dict:
+        """Cumulative decision counters (dashboard's ``routing`` block)."""
+        return {
+            "policy": self.policy_name,
+            "total": self.decisions_total,
+            "recent": len(self.decisions),
+            "by_endpoint": dict(self.decisions_by_endpoint),
+            "by_rule": dict(self.decisions_by_rule),
+        }
 
 
 class RandomRouter(FederationRouter):
@@ -99,11 +110,13 @@ class RandomRouter(FederationRouter):
 
     policy_name = "random"
 
-    def __init__(self, registry: FederationRegistry, seed: int = 11):
-        super().__init__(registry)
+    def __init__(self, registry: FederationRegistry, seed: int = 11,
+                 max_decisions: int = 512):
+        super().__init__(registry, max_decisions=max_decisions)
         self._random = RandomSource(seed=seed)
 
-    def _choose(self, model: str, candidates: List[FederatedEndpoint]):
+    def _choose(self, model: str, candidates: List[FederatedEndpoint],
+                tenant: Optional[str] = None):
         if False:  # pragma: no cover - keep generator form
             yield None
         return self._random.choice(candidates), "random"
@@ -114,7 +127,8 @@ class FirstConfiguredRouter(FederationRouter):
 
     policy_name = "first-configured"
 
-    def _choose(self, model: str, candidates: List[FederatedEndpoint]):
+    def _choose(self, model: str, candidates: List[FederatedEndpoint],
+                tenant: Optional[str] = None):
         if False:  # pragma: no cover - keep generator form
             yield None
         return candidates[0], "first-configured"

@@ -78,6 +78,7 @@ class InferenceGatewayAPI:
         config: Optional[GatewayConfig] = None,
         database: Optional[GatewayDatabase] = None,
         ids: Optional[IdGenerator] = None,
+        topology=None,
     ):
         self.env = env
         self.config = config or GatewayConfig()
@@ -85,6 +86,9 @@ class InferenceGatewayAPI:
         self.compute_client = compute_client
         self.router = router
         self.catalog = catalog
+        #: Placement-plane view, when the deployment wires one; middleware
+        #: factories (e.g. the reservation stage) resolve it from here.
+        self.topology = topology if topology is not None else getattr(router, "view", None)
         self.function_ids = dict(function_ids)
         self.db = database or GatewayDatabase()
         self._ids = ids or IdGenerator()
@@ -106,7 +110,7 @@ class InferenceGatewayAPI:
             else None
         )
         self.workers = Resource(env, capacity=self.config.worker_slots())
-        self._routing_cache: Dict[str, _RoutingCacheEntry] = {}
+        self._routing_cache: Dict[tuple, _RoutingCacheEntry] = {}
 
         factories = self.config.middleware_factories or default_middleware_factories()
         self.pipeline = GatewayPipeline([factory(self) for factory in factories])
@@ -128,22 +132,25 @@ class InferenceGatewayAPI:
             if duration_s > 0:
                 yield self.env.timeout(duration_s)
 
-    def route(self, model: str):
+    def route(self, model: str, tenant: Optional[str] = None):
         """Pick a federated endpoint for ``model`` (with a short-lived cache).
 
-        A cached decision may reference an endpoint that has since been
-        deregistered from the federation; the stale entry is evicted and a
-        fresh selection is made instead of surfacing the lookup error.
+        Decisions are cached per (model, tenant) — tenant-aware policies
+        (the SLO router) can shed different tenants differently.  A cached
+        decision may reference an endpoint that has since been deregistered
+        from the federation; the stale entry is evicted and a fresh
+        selection is made instead of surfacing the lookup error.
         """
-        cached = self._routing_cache.get(model)
+        key = (model, tenant)
+        cached = self._routing_cache.get(key)
         now = self.env.now
         if cached is not None and now - cached.cached_at < self.config.routing_cache_ttl_s:
             try:
                 return self.router.registry.get(cached.endpoint_id).endpoint
             except NotFoundError:
-                self._routing_cache.pop(model, None)
-        endpoint = yield from self.router.select(model)
-        self._routing_cache[model] = _RoutingCacheEntry(endpoint.endpoint_id, now)
+                self._routing_cache.pop(key, None)
+        endpoint = yield from self.router.select(model, tenant=tenant)
+        self._routing_cache[key] = _RoutingCacheEntry(endpoint.endpoint_id, now)
         return endpoint
 
     def validate_model(self, model: Optional[str]) -> str:
@@ -305,27 +312,77 @@ class InferenceGatewayAPI:
             request.user = info.username
 
         if endpoint_id is None:
-            endpoint = yield from self.route(model)
+            endpoint = yield from self.route(model, tenant=info.username)
         else:
             endpoint = self.router.registry.get(endpoint_id).endpoint
 
+        return self._launch_batch(info.username, model, endpoint, requests)
+
+    def _launch_batch(self, user: str, model: str, endpoint, requests,
+                      retried_from: Optional[str] = None) -> BatchRecord:
+        """Insert a batch record and dispatch its compute task."""
         record = BatchRecord(
             batch_id=self._ids.next("batch"),
-            user=info.username,
+            user=user,
             model=model,
             endpoint=endpoint.endpoint_id,
             num_requests=len(requests),
             status="in_progress",
             created_at=self.env.now,
+            requests=list(requests),
+            retried_from=retried_from,
         )
         self.db.insert_batch(record)
         future = self.compute_client.submit(
             self.function_for(HANDLER_BATCH),
             endpoint.endpoint_id,
-            {"model": model, "requests": requests},
-            submitter=info.username,
+            {"model": model, "requests": list(requests)},
+            submitter=user,
         )
         self.env.process(self._track_batch(record, future))
+        return record
+
+    def retry_batch(self, access_token: str, batch_id: str):
+        """``POST /v1/batches/{id}/retry`` — resubmit only the requests that
+        failed, as recorded in the batch's ``failure_reasons`` (§4.4).
+
+        Returns the new batch resource, or a typed error envelope when the
+        batch is unknown, still running, or has nothing to retry.
+        """
+        try:
+            record = yield from self._retry_batch(access_token, batch_id)
+        except Exception as exc:  # noqa: BLE001 - every failure becomes an envelope
+            return error_envelope(exc)
+        return record.to_dict()
+
+    def _retry_batch(self, access_token: str, batch_id: str):
+        info = yield from self.auth_layer.authenticate(access_token)
+        original = self.db.get_batch(batch_id)
+        if original is None:
+            raise NotFoundError(f"Unknown batch id {batch_id}")
+        if original.status not in ("completed", "failed"):
+            raise ValidationError(
+                f"Batch {batch_id} is still {original.status}; only finished "
+                "batches can be retried"
+            )
+        if original.status == "failed":
+            # The whole compute task failed: every request is retryable.
+            requests = list(original.requests)
+        else:
+            failed_ids = set(original.failure_reasons)
+            requests = [r for r in original.requests
+                        if r.request_id in failed_ids]
+        if not requests:
+            raise ValidationError(
+                f"Batch {batch_id} has no failed requests to retry"
+            )
+        model = original.model
+        self.auth_layer.authorize(info, f"model:{model}")
+        # Route afresh: the original endpoint may have left the federation.
+        endpoint = yield from self.route(model, tenant=info.username)
+        record = self._launch_batch(info.username, model, endpoint, requests,
+                                    retried_from=batch_id)
+        original.retry_batch_ids.append(record.batch_id)
         return record
 
     def _track_batch(self, record: BatchRecord, future):
@@ -355,6 +412,11 @@ class InferenceGatewayAPI:
             for r in run_result.results
             if not r.success
         }
+        if not record.failure_reasons:
+            # Requests are retained only for retry; a fully clean batch has
+            # nothing to resubmit, so drop them instead of growing the
+            # database with every batch ever run.
+            record.requests = []
         self.metrics.batch_completed(
             record.model,
             record.num_requests,
@@ -403,6 +465,9 @@ class InferenceGatewayAPI:
             },
             "queued_at_relay": self.compute_client.relay.queued_tasks,
             "pipeline": self.pipeline.stage_names(),
+            # Cumulative per-endpoint/per-rule routing counters: the bounded
+            # decision log evicts, these never do.
+            "routing": self.router.summary(),
         }
         if self.response_cache is not None:
             extra["response_cache"] = {

@@ -82,17 +82,21 @@ class GatewayMetrics:
         #: Per-request batch failure reasons, bucketed for the dashboard.
         self.batch_failure_reasons: Dict[str, int] = defaultdict(int)
         self._recent_window = recent_window
-        self._recent: Dict[str, _RecentTimings] = {}
+        #: Rolling windows keyed by (model, endpoint); the ``None`` endpoint
+        #: is the fleet-wide window the autoscale feed samples, per-endpoint
+        #: windows feed the placement plane's pool signals.
+        self._recent: Dict[tuple, _RecentTimings] = {}
 
     def _usage(self, model: str) -> ModelUsage:
         if model not in self.per_model:
             self.per_model[model] = ModelUsage(model=model)
         return self.per_model[model]
 
-    def _timings(self, model: str) -> _RecentTimings:
-        if model not in self._recent:
-            self._recent[model] = _RecentTimings(self._recent_window)
-        return self._recent[model]
+    def _timings(self, model: str, endpoint: Optional[str] = None) -> _RecentTimings:
+        key = (model, endpoint)
+        if key not in self._recent:
+            self._recent[key] = _RecentTimings(self._recent_window)
+        return self._recent[key]
 
     # -- lifecycle hooks ---------------------------------------------------------
     def request_started(self, model: str, prompt_tokens: int) -> None:
@@ -102,12 +106,15 @@ class GatewayMetrics:
         self.in_flight += 1
         self.peak_in_flight = max(self.peak_in_flight, self.in_flight)
 
-    def request_completed(self, model: str, output_tokens: int, latency_s: float) -> None:
+    def request_completed(self, model: str, output_tokens: int, latency_s: float,
+                          endpoint: Optional[str] = None) -> None:
         usage = self._usage(model)
         usage.completed += 1
         usage.output_tokens += output_tokens
         usage.total_latency_s += latency_s
         self._timings(model).latencies.append(latency_s)
+        if endpoint is not None:
+            self._timings(model, endpoint).latencies.append(latency_s)
         self.in_flight = max(0, self.in_flight - 1)
 
     def request_failed(self, model: str) -> None:
@@ -115,20 +122,25 @@ class GatewayMetrics:
         self.in_flight = max(0, self.in_flight - 1)
 
     def record_stream_timing(self, model: str, ttft_s: float,
-                             itl_values: Optional[List[float]] = None) -> None:
+                             itl_values: Optional[List[float]] = None,
+                             endpoint: Optional[str] = None) -> None:
         """Record gateway-observed streaming timings (dispatch stage hook)."""
-        timings = self._timings(model)
-        timings.ttfts.append(ttft_s)
-        if itl_values:
-            timings.itls.extend(itl_values)
+        for timings in ([self._timings(model)]
+                        + ([self._timings(model, endpoint)] if endpoint else [])):
+            timings.ttfts.append(ttft_s)
+            if itl_values:
+                timings.itls.extend(itl_values)
 
-    def recent_timings(self, model: str) -> Optional[dict]:
+    def recent_timings(self, model: str,
+                       endpoint: Optional[str] = None) -> Optional[dict]:
         """Rolling medians for ``model`` (the autoscale feed's sensor read).
 
-        Returns ``None`` when nothing has been observed yet; individual keys
-        are ``None`` until their signal exists (e.g. no streaming traffic).
+        With ``endpoint`` the medians cover only requests served by that
+        endpoint — the placement plane's per-pool latency signal.  Returns
+        ``None`` when nothing has been observed yet; individual keys are
+        ``None`` until their signal exists (e.g. no streaming traffic).
         """
-        timings = self._recent.get(model)
+        timings = self._recent.get((model, endpoint))
         if timings is None:
             return None
         return {

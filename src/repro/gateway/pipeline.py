@@ -229,7 +229,10 @@ class AccountingMiddleware(Middleware):
             error=result.error,
         )
         if result.success:
-            api.metrics.request_completed(ctx.model_name, result.output_tokens, latency)
+            api.metrics.request_completed(
+                ctx.model_name, result.output_tokens, latency,
+                endpoint=ctx.endpoint.endpoint_id if ctx.endpoint else None,
+            )
         else:
             api.metrics.request_failed(ctx.model_name)
 
@@ -241,7 +244,7 @@ class RoutingMiddleware(Middleware):
 
     def process(self, ctx: RequestContext, call_next):
         api = self.api
-        endpoint = yield from api.route(ctx.model_name)
+        endpoint = yield from api.route(ctx.model_name, tenant=ctx.request.user)
         ctx.endpoint = endpoint
         if ctx.log_entry is not None:
             ctx.log_entry.endpoint = endpoint.endpoint_id
@@ -316,6 +319,7 @@ class DispatchMiddleware(Middleware):
                     ctx.model_name,
                     token_times[0] - ctx.started_at,
                     [b - a for a, b in zip(token_times, token_times[1:])],
+                    endpoint=ctx.endpoint.endpoint_id if ctx.endpoint else None,
                 )
         ctx.result = result
         yield from call_next(ctx)

@@ -1,0 +1,27 @@
+"""Placement plane (Federation v2).
+
+One shared, event-refreshed view of the fleet (:class:`TopologyView`)
+feeding three consumers that previously kept private state:
+
+* routing — :class:`PriorityRouter` (the paper's §4.5 rule, verbatim),
+  :class:`LeastLoadedRouter` and the SLO-aware :class:`SLORouter`;
+* cross-cluster autoscaling — :class:`repro.autoscale.FederationScalingPolicy`
+  binds to the view through ``bind_topology``;
+* per-tenant capacity reservations — :class:`ReservationMiddleware`
+  admits requests against reserved capacity tracked in the view.
+"""
+
+from .policies import LeastLoadedRouter, PlacementPolicy, PriorityRouter, SLORouter
+from .reservations import ReservationMiddleware
+from .view import ClusterSignal, PoolSignal, TopologyView
+
+__all__ = [
+    "TopologyView",
+    "PoolSignal",
+    "ClusterSignal",
+    "PlacementPolicy",
+    "PriorityRouter",
+    "LeastLoadedRouter",
+    "SLORouter",
+    "ReservationMiddleware",
+]

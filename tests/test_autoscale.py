@@ -327,7 +327,7 @@ def test_scaled_down_endpoint_deregisters_cleanly_and_routes_move_on():
         MODEL_8B, [{"role": "user", "content": "hello beta"}], max_tokens=16
     )
     assert "error" not in second
-    routed = deployment.gateway._routing_cache[MODEL_8B].endpoint_id
+    routed = deployment.gateway._routing_cache[(MODEL_8B, "ops@anl.gov")].endpoint_id
     assert routed == "ep-beta"
     states = {j["endpoint"]: j["state"] for j in client.jobs()}
     assert "ep-alpha" not in states

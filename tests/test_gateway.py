@@ -513,7 +513,8 @@ def test_stale_routing_cache_falls_back_to_fresh_selection():
     deployment.warm_up(MODEL_7B)  # warms an instance on the first endpoint
     client = deployment.client("researcher@anl.gov")
     client.chat_completion(MODEL_7B, [{"role": "user", "content": "a"}], max_tokens=8)
-    cached_id = deployment.gateway._routing_cache[MODEL_7B].endpoint_id
+    cache_key = (MODEL_7B, "researcher@anl.gov")
+    cached_id = deployment.gateway._routing_cache[cache_key].endpoint_id
     assert cached_id == "ep-c1"
 
     deployment.registry.deregister("ep-c1")
@@ -522,4 +523,4 @@ def test_stale_routing_cache_falls_back_to_fresh_selection():
     response = client.chat_completion(MODEL_7B, [{"role": "user", "content": "b"}],
                                       max_tokens=8)
     assert response["usage"]["completion_tokens"] == 8
-    assert deployment.gateway._routing_cache[MODEL_7B].endpoint_id == "ep-c2"
+    assert deployment.gateway._routing_cache[cache_key].endpoint_id == "ep-c2"
