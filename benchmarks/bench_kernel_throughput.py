@@ -1,4 +1,4 @@
-"""Kernel & engine hot-path benchmark: macro-stepped vs per-token decoding.
+"""Kernel & engine hot-path benchmark: macro-stepping and queue backends.
 
 Replays the Figure-3 workload shape (ShareGPT-like requests against a single
 Llama 3.3 70B instance) directly at the engine layer, once with
@@ -11,13 +11,21 @@ loop, and reports:
 * a checksum over every request's simulated timings, asserting the two modes
   are **bit-identical** in simulated time.
 
+The kernel's pending-event structure is pluggable
+(``Environment(queue="heap"|"calendar")``, see ``repro.sim.queues``);
+``--queue`` selects the backend the scenario runs on, and ``--write``
+additionally records a heap-vs-calendar sweep: wall clock on the fig3-style
+scenario (the two backends are at parity there — the pending set stays small)
+plus a pure queue-op stress with 100k pending entries (where the calendar's
+amortised O(1) push/pop beats the heap's O(log n)).
+
 Usage::
 
     python benchmarks/bench_kernel_throughput.py            # full run, prints report
-    python benchmarks/bench_kernel_throughput.py --write    # full+quick run, writes BENCH_kernel.json
-    python benchmarks/bench_kernel_throughput.py --quick --check
-        # CI smoke: quick scenario, fail on mismatch or on a >20% speedup
-        # regression vs the committed BENCH_kernel.json baseline
+    python benchmarks/bench_kernel_throughput.py --write    # all scenarios + sweep, writes BENCH_kernel.json
+    python benchmarks/bench_kernel_throughput.py --quick --check --queue calendar
+        # CI smoke: quick scenario on one queue backend, fail on mismatch or
+        # on a >20% speedup regression vs that backend's committed baseline
 
 The regression gate compares the *speedup ratio* (not absolute wall time),
 so it is insensitive to how fast the CI machine is.
@@ -28,6 +36,7 @@ from __future__ import annotations
 import argparse
 import hashlib
 import json
+import random
 import sys
 import time
 from pathlib import Path
@@ -60,10 +69,17 @@ QUICK_SCENARIO = {"num_requests": 1500, "rate": 1.0}
 FULL_SPEEDUP_FLOOR = 3.0
 REGRESSION_TOLERANCE = 0.8
 
+#: Queue backends swept by --write; --queue picks one for the scenario runs.
+QUEUE_BACKENDS = ("heap", "calendar")
+#: Pure queue-op stress: pending entries held / push+pop ops performed.
+STRESS_HOLD = 100_000
+STRESS_OPS = 100_000
 
-def run_mode(macro: bool, num_requests: int, rate: float) -> dict:
+
+def run_mode(macro: bool, num_requests: int, rate: float,
+             queue: str = "heap") -> dict:
     """Run the scenario in one stepping mode; returns metrics + checksum."""
-    env = Environment()
+    env = Environment(queue=queue)
     events_processed = 0
     original_step = env.step
 
@@ -109,6 +125,7 @@ def run_mode(macro: bool, num_requests: int, rate: float) -> dict:
     output_tokens = engine.stats.output_tokens
     return {
         "mode": "macro" if macro else "per_token",
+        "queue": queue,
         "wall_s": round(wall_s, 4),
         "events": events_processed,
         "events_per_s": round(events_processed / wall_s, 1),
@@ -119,11 +136,12 @@ def run_mode(macro: bool, num_requests: int, rate: float) -> dict:
     }
 
 
-def run_scenario(name: str, num_requests: int, rate: float, repeats: int = 5) -> dict:
+def run_scenario(name: str, num_requests: int, rate: float, repeats: int = 5,
+                 queue: str = "heap") -> dict:
     """Best-of-``repeats`` wall clock for each mode over the same workload."""
     best = {}
     for macro in (False, True):
-        runs = [run_mode(macro, num_requests, rate) for _ in range(repeats)]
+        runs = [run_mode(macro, num_requests, rate, queue=queue) for _ in range(repeats)]
         checksums = {r["trace_sha256"] for r in runs}
         assert len(checksums) == 1, "non-deterministic simulation run"
         best[runs[0]["mode"]] = min(runs, key=lambda r: r["wall_s"])
@@ -131,7 +149,8 @@ def run_scenario(name: str, num_requests: int, rate: float, repeats: int = 5) ->
     speedup = best["per_token"]["wall_s"] / best["macro"]["wall_s"]
     return {
         "scenario": {"name": name, "model": MODEL, "instances": 1,
-                     "num_requests": num_requests, "rate_req_s": rate},
+                     "num_requests": num_requests, "rate_req_s": rate,
+                     "queue": queue},
         "per_token": best["per_token"],
         "macro": best["macro"],
         "bit_identical": identical,
@@ -139,10 +158,85 @@ def run_scenario(name: str, num_requests: int, rate: float, repeats: int = 5) ->
     }
 
 
+def run_queue_stress(queue: str, hold: int = STRESS_HOLD,
+                     ops: int = STRESS_OPS, repeats: int = 3) -> float:
+    """Best-of-``repeats`` wall clock for raw push/pop churn on one backend.
+
+    Holds ``hold`` pending entries and performs ``ops`` pop+push rounds with
+    clustered pseudo-random deltas — the NORMAL-timeout churn profile, at the
+    pending-set size where the queue structure (not constant factors)
+    dominates.
+    """
+    from repro.sim.queues import make_event_queue
+
+    best = float("inf")
+    for _ in range(repeats):
+        rng = random.Random(12345)
+        q = make_event_queue(queue)
+        now = 0.0
+        eid = 0
+        for _ in range(hold):
+            q.push(now + rng.random() * hold * 0.02, 1, eid, eid)
+            eid += 1
+        start = time.perf_counter()
+        for _ in range(ops):
+            now = q.pop()[0]
+            q.push(now + 0.01 + rng.random() * hold * 0.02, 1, eid, eid)
+            eid += 1
+        best = min(best, time.perf_counter() - start)
+    return best
+
+
+def run_queue_sweep(num_requests: int, rate: float, repeats: int = 5) -> dict:
+    """Heap vs calendar wall clock: fig3-style macro run + pure queue stress."""
+    fig3 = {}
+    for queue in QUEUE_BACKENDS:
+        runs = [run_mode(True, num_requests, rate, queue=queue) for _ in range(repeats)]
+        fig3[queue] = min(runs, key=lambda r: r["wall_s"])
+    identical = fig3["heap"]["trace_sha256"] == fig3["calendar"]["trace_sha256"]
+    stress = {queue: round(run_queue_stress(queue), 4) for queue in QUEUE_BACKENDS}
+    return {
+        "scenario": {"name": "queue-sweep", "model": MODEL,
+                     "num_requests": num_requests, "rate_req_s": rate},
+        "fig3_macro": {
+            "heap": fig3["heap"],
+            "calendar": fig3["calendar"],
+            "bit_identical": identical,
+            "calendar_speedup": round(
+                fig3["heap"]["wall_s"] / fig3["calendar"]["wall_s"], 3),
+        },
+        "queue_stress": {
+            "hold": STRESS_HOLD,
+            "ops": STRESS_OPS,
+            "heap_wall_s": stress["heap"],
+            "calendar_wall_s": stress["calendar"],
+            "calendar_speedup": round(stress["heap"] / stress["calendar"], 3),
+        },
+    }
+
+
+def print_sweep_report(sweep: dict) -> None:
+    s = sweep["scenario"]
+    print(f"\n=== queue sweep: heap vs calendar "
+          f"({s['num_requests']} reqs @ {s['rate_req_s']:g} req/s, {s['model']}) ===")
+    fig3 = sweep["fig3_macro"]
+    for queue in QUEUE_BACKENDS:
+        r = fig3[queue]
+        print(f"  fig3 macro {queue:>9}: wall={r['wall_s']:.3f}s events={r['events']}")
+    print(f"  bit-identical across backends: {fig3['bit_identical']}")
+    print(f"  fig3 calendar speedup: {fig3['calendar_speedup']:.3f}x "
+          f"(small pending set: parity expected)")
+    stress = sweep["queue_stress"]
+    print(f"  queue stress (hold={stress['hold']}, ops={stress['ops']}): "
+          f"heap={stress['heap_wall_s']:.3f}s calendar={stress['calendar_wall_s']:.3f}s "
+          f"-> {stress['calendar_speedup']:.2f}x")
+
+
 def print_report(entry: dict) -> None:
     s = entry["scenario"]
     print(f"\n=== kernel throughput: {s['name']} "
-          f"({s['num_requests']} reqs @ {s['rate_req_s']:g} req/s, {s['model']}) ===")
+          f"({s['num_requests']} reqs @ {s['rate_req_s']:g} req/s, {s['model']}, "
+          f"queue={s.get('queue', 'heap')}) ===")
     for mode in ("per_token", "macro"):
         r = entry[mode]
         print(f"  {mode:>9}: wall={r['wall_s']:.3f}s events={r['events']} "
@@ -156,22 +250,39 @@ def main(argv=None) -> int:
     parser.add_argument("--quick", action="store_true",
                         help="run the small CI scenario instead of the full one")
     parser.add_argument("--write", action="store_true",
-                        help="run full + quick scenarios and write the baseline JSON")
+                        help="run all scenarios + queue sweep and write the baseline JSON")
     parser.add_argument("--check", action="store_true",
                         help="fail on mismatch or >20%% speedup regression vs the baseline")
+    parser.add_argument("--queue", choices=QUEUE_BACKENDS, default="heap",
+                        help="kernel pending-event structure for the scenario runs")
     parser.add_argument("--baseline", type=Path, default=BASELINE_PATH)
     args = parser.parse_args(argv)
 
     if args.write:
-        baseline = {
-            "full": run_scenario("fig3-style-full", **FULL_SCENARIO),
-            "quick": run_scenario("fig3-style-quick", **QUICK_SCENARIO),
-        }
-        for entry in baseline.values():
-            print_report(entry)
-        if not all(e["bit_identical"] for e in baseline.values()):
+        baseline = {}
+        for queue in QUEUE_BACKENDS:
+            suffix = "" if queue == "heap" else f"_{queue}"
+            baseline[f"full{suffix}"] = run_scenario(
+                "fig3-style-full", queue=queue, **FULL_SCENARIO)
+            baseline[f"quick{suffix}"] = run_scenario(
+                "fig3-style-quick", queue=queue, **QUICK_SCENARIO)
+        baseline["queue_sweep"] = run_queue_sweep(**FULL_SCENARIO)
+        for key, entry in baseline.items():
+            if key == "queue_sweep":
+                print_sweep_report(entry)
+            else:
+                print_report(entry)
+        scenarios = [e for k, e in baseline.items() if k != "queue_sweep"]
+        if not all(e["bit_identical"] for e in scenarios):
             print("FAIL: simulated-time results differ between stepping modes")
             return 1
+        if not baseline["queue_sweep"]["fig3_macro"]["bit_identical"]:
+            print("FAIL: simulated-time results differ between queue backends")
+            return 1
+        for a, b in (("full", "full_calendar"), ("quick", "quick_calendar")):
+            if baseline[a]["macro"]["trace_sha256"] != baseline[b]["macro"]["trace_sha256"]:
+                print(f"FAIL: {a} and {b} traces differ between queue backends")
+                return 1
         if baseline["full"]["speedup"] < FULL_SPEEDUP_FLOOR:
             print(f"FAIL: full-scenario speedup {baseline['full']['speedup']:.2f}x "
                   f"is below the {FULL_SPEEDUP_FLOOR:.1f}x acceptance floor")
@@ -181,8 +292,10 @@ def main(argv=None) -> int:
         return 0
 
     key = "quick" if args.quick else "full"
+    if args.queue != "heap":
+        key = f"{key}_{args.queue}"
     scenario = QUICK_SCENARIO if args.quick else FULL_SCENARIO
-    entry = run_scenario(f"fig3-style-{key}", **scenario)
+    entry = run_scenario(f"fig3-style-{key}", queue=args.queue, **scenario)
     print_report(entry)
 
     if not entry["bit_identical"]:

@@ -19,6 +19,13 @@ EMBED_MODEL = "nvidia/NV-Embed-v2"
 def main() -> None:
     # 1. Deploy the service: a small 2-node cluster hosting two chat models
     #    and an embedding model behind the gateway.
+    #
+    #    The whole deployment runs on the from-scratch DES kernel.  Its
+    #    pending-event structure is pluggable — `Environment(queue="heap")`
+    #    (default), `"calendar"` (Brown-style calendar queue, pays off on
+    #    very large pending sets) or `"auto"`; at this layer pass
+    #    `DeploymentConfig(kernel_queue=...)`.  Results are bit-identical
+    #    either way, only wall-clock differs (benchmarks/BENCH_kernel.json).
     deployment = FIRSTDeployment.quickstart()
     print("Deployed FIRST on cluster(s):", ", ".join(deployment.clusters))
 

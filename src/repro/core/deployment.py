@@ -118,6 +118,10 @@ class DeploymentConfig:
     identity_domains: List[str] = field(default_factory=lambda: ["anl.gov", "university.edu"])
     generate_text: bool = False
     seed: int = 0
+    #: Kernel pending-event structure: "heap" | "calendar" | "auto" (see
+    #: :mod:`repro.sim.queues`).  Simulation results are bit-identical across
+    #: backends; only wall-clock differs.
+    kernel_queue: str = "heap"
 
 
 class FIRSTDeployment:
@@ -132,7 +136,7 @@ class FIRSTDeployment:
         self.config = config or DeploymentConfig()
         if not self.config.clusters:
             raise ConfigurationError("DeploymentConfig needs at least one cluster")
-        self.env = env or Environment()
+        self.env = env or Environment(queue=self.config.kernel_queue)
         self.catalog = catalog or default_catalog()
         self.ids = IdGenerator()
 

@@ -21,6 +21,11 @@ accumulated with the same sequence of float additions the per-token loop
 performs, and absolute-time scheduling (``Environment.timeout_at``) replays
 them bit-for-bit.
 
+The remaining kernel cost is the pending-event structure itself; it is
+pluggable (``Environment(queue="heap"|"calendar"|"auto")``, see
+:mod:`repro.sim.queues`) and every backend pops the same total order, so
+engine results do not depend on the choice.
+
 A macro-step window ends at the earliest of:
 
 * the earliest completion among running sequences (state changes there);

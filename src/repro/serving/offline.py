@@ -12,7 +12,7 @@ serving.
 from __future__ import annotations
 
 import dataclasses
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import List, Optional
 
 from ..sim import Environment
@@ -64,12 +64,20 @@ class OfflineBatchRunner:
 
     def __init__(
         self,
-        env: Environment,
+        env: Optional[Environment],
         perf: PerformanceModel,
         engine_config: Optional[EngineConfig] = None,
         include_load_time: bool = True,
+        kernel_queue: str = "heap",
     ):
-        self.env = env
+        # ``env=None``: standalone batch runs own their environment and may
+        # opt into a different kernel queue backend (see repro.sim.queues).
+        if env is not None and kernel_queue != "heap":
+            raise ValueError(
+                "kernel_queue only applies when OfflineBatchRunner creates its "
+                "own environment; pass env=None or configure the queue on env"
+            )
+        self.env = env or Environment(queue=kernel_queue)
         # Offline mode avoids streaming/serving overhead: apply the
         # calibrated offline throughput factor.
         cfg = perf.config

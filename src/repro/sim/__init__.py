@@ -22,6 +22,7 @@ Example
 """
 
 from .environment import EmptySchedule, Environment, StopSimulation
+from .queues import CalendarEventQueue, EventQueue, HeapEventQueue, make_event_queue
 from .events import (
     NORMAL,
     PENDING,
@@ -51,6 +52,10 @@ __all__ = [
     "Environment",
     "EmptySchedule",
     "StopSimulation",
+    "EventQueue",
+    "HeapEventQueue",
+    "CalendarEventQueue",
+    "make_event_queue",
     "Event",
     "Timeout",
     "Process",

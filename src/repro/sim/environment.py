@@ -2,10 +2,9 @@
 
 from __future__ import annotations
 
-import heapq
 from collections import deque
 from itertools import count
-from typing import Any, Deque, Generator, Iterable, List, Optional, Tuple
+from typing import Any, Deque, Generator, Iterable, Optional
 
 from .events import (
     NORMAL,
@@ -16,6 +15,7 @@ from .events import (
     Process,
     Timeout,
 )
+from .queues import EventQueue, make_event_queue
 
 __all__ = ["Environment", "EmptySchedule", "StopSimulation"]
 
@@ -40,18 +40,30 @@ class Environment:
     Time is a float in seconds.  Events are processed in order of
     ``(time, priority, insertion order)`` which makes runs fully
     deterministic for a fixed seed.
+
+    ``queue`` selects the pending-event structure (see
+    :mod:`repro.sim.queues`): ``"heap"`` (default binary heap),
+    ``"calendar"`` (Brown-style calendar queue, amortised O(1) on
+    clustered schedules) or ``"auto"`` (let the kernel pick).  All
+    backends share the same total order, so simulation results are
+    bit-identical regardless of the choice.
     """
 
-    def __init__(self, initial_time: float = 0.0):
+    def __init__(self, initial_time: float = 0.0, queue: str = "heap"):
         self._now = float(initial_time)
-        self._queue: List[Tuple[float, int, int, Event]] = []
+        self._pending: EventQueue = make_event_queue(queue, self._now)
         #: Fast lane for zero-delay URGENT events (process starts, interrupts).
         #: They always run before every same-time NORMAL event, and among
-        #: themselves in insertion order, so a plain FIFO reproduces the heap
-        #: ordering without any tuple construction or sift cost.
+        #: themselves in insertion order, so a plain FIFO reproduces the
+        #: pending queue's ordering without any tuple construction or sift
+        #: cost.
         self._urgent: Deque[Event] = deque()
         self._eid = count()
         self._active_proc: Optional[Process] = None
+        # Bound once: schedule/schedule_at/step are the kernel's hottest
+        # call sites and the extra attribute hop is measurable there.
+        self._push = self._pending.push
+        self._pop = self._pending.pop
 
     # -- properties ------------------------------------------------------
     @property
@@ -67,7 +79,7 @@ class Environment:
     @property
     def queue_size(self) -> int:
         """Number of events currently scheduled."""
-        return len(self._queue) + len(self._urgent)
+        return len(self._pending) + len(self._urgent)
 
     # -- event creation --------------------------------------------------
     def event(self) -> Event:
@@ -105,22 +117,23 @@ class Environment:
         if priority == URGENT and delay == 0.0:
             # Same-time URGENT events outrank every NORMAL event queued for
             # this instant, and time cannot move backwards, so they can skip
-            # the heap entirely (no (time, priority, eid, event) tuple churn).
+            # the queue entirely (no (time, priority, eid, event) tuple churn).
             self._urgent.append(event)
             return
-        heapq.heappush(self._queue, (self._now + delay, priority, next(self._eid), event))
+        self._push(self._now + delay, priority, next(self._eid), event)
 
     def schedule_at(self, event: Event, time: float, priority: int = NORMAL) -> None:
         """Schedule ``event`` at the absolute simulated ``time``."""
         if time < self._now:
             raise ValueError(f"Cannot schedule at {time} (now is {self._now})")
-        heapq.heappush(self._queue, (time, priority, next(self._eid), event))
+        self._push(time, priority, next(self._eid), event)
 
     def peek(self) -> float:
         """Time of the next scheduled event, or ``inf`` if none."""
         if self._urgent:
             return self._now
-        return self._queue[0][0] if self._queue else float("inf")
+        entry = self._pending.peek()
+        return entry[0] if entry is not None else float("inf")
 
     def step(self) -> None:
         """Process the next scheduled event.
@@ -131,7 +144,7 @@ class Environment:
             event = self._urgent.popleft()
         else:
             try:
-                self._now, _, _, event = heapq.heappop(self._queue)
+                self._now, _, _, event = self._pop()
             except IndexError:
                 raise EmptySchedule() from None
 
@@ -163,11 +176,18 @@ class Environment:
             until = Event(self)
             until._ok = True
             until._value = None
-            self.schedule(until, delay=at - self._now, priority=NORMAL)
+            # Absolute scheduling: ``now + (at - now)`` can round an ulp away
+            # from ``at``, and the stop time must be bit-exact (it is compared
+            # against ``timeout_at``/``schedule_at`` times elsewhere).
+            self.schedule_at(until, at, priority=NORMAL)
 
         if until is not None:
             if until.callbacks is None:
-                return until._value if until._ok else None
+                # Already processed: report exactly like StopSimulation.callback
+                # would have — value for a success, re-raise for a failure.
+                if until._ok:
+                    return until._value
+                raise until._value
             until.callbacks.append(StopSimulation.callback)
 
         try:

@@ -152,26 +152,44 @@ class Timeout(Event):
     boundary times) passes it through unchanged.
     """
 
-    __slots__ = ("_delay",)
+    __slots__ = ("_delay", "_at")
 
     def __init__(self, env: "Environment", delay: float, value: Any = None,
                  at: Optional[float] = None):  # noqa: F821
         if at is None and delay < 0:
             raise ValueError(f"Negative delay {delay}")
         super().__init__(env)
-        self._delay = delay
         self._ok = True
         self._value = value
         if at is None:
+            self._delay = delay
+            self._at = env.now + delay  # the exact time schedule() uses
             env.schedule(self, delay=delay)
         else:
+            # An absolute-time timeout has no meaningful delay: storing the
+            # round-tripped ``at - now`` here would misreport the one thing
+            # ``timeout_at`` exists to preserve, the exact firing time.
+            self._delay = None
+            self._at = at
             env.schedule_at(self, at)
 
     @property
-    def delay(self) -> float:
+    def delay(self) -> Optional[float]:
+        """The relative delay this timeout was created with.
+
+        ``None`` for absolute-time timeouts (``Environment.timeout_at``);
+        use :attr:`at` for the firing time, which is exact in both cases.
+        """
         return self._delay
 
+    @property
+    def at(self) -> float:
+        """The absolute simulated time this timeout fires at (bit-exact)."""
+        return self._at
+
     def __repr__(self) -> str:
+        if self._delay is None:
+            return f"<Timeout(at={self._at}) object at {id(self):#x}>"
         return f"<Timeout({self._delay}) object at {id(self):#x}>"
 
 

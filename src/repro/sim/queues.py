@@ -1,0 +1,305 @@
+"""Pluggable pending-event structures for the simulation kernel.
+
+Every event the :class:`~repro.sim.Environment` schedules (outside the
+zero-delay URGENT fast lane) goes through one of these queues.  The contract
+is a strict total order over ``(time, priority, eid)`` — ``eid`` is the
+environment's monotonically increasing insertion counter, so no two entries
+ever compare equal — which means *any* correct implementation pops the exact
+same sequence and simulation results are bit-identical across backends.
+
+Two implementations are provided:
+
+* :class:`HeapEventQueue` — the original binary heap (``heapq``).  O(log n)
+  push/pop, no tuning, the default.
+* :class:`CalendarEventQueue` — a Brown-style calendar queue [Brown 1988,
+  "Calendar Queues: A Fast O(1) Priority Queue Implementation for the
+  Simulation Event Set Problem"].  Events within the current "year" are
+  bucketed into days by firing time; far-future events (beyond the year)
+  wait in a sorted overflow list until the year rolls forward.  The number
+  of days and the day width auto-resize on occupancy so the typical bucket
+  holds O(1) events, making push/pop amortised O(1) when event times are
+  reasonably clustered — the NORMAL-timeout churn profile of the serving
+  benchmarks.
+
+Select a backend with ``Environment(queue="heap"|"calendar"|"auto")`` or, at
+the deployment layer, ``DeploymentConfig(kernel_queue=...)``.
+"""
+
+from __future__ import annotations
+
+import heapq
+from bisect import bisect_left, insort
+from math import inf, nextafter
+from typing import Any, List, Optional, Tuple
+
+__all__ = [
+    "QUEUE_KINDS",
+    "EventQueue",
+    "HeapEventQueue",
+    "CalendarEventQueue",
+    "make_event_queue",
+]
+
+#: One pending entry: ``(time, priority, eid, event)``.
+Entry = Tuple[float, int, int, Any]
+
+#: Recognised ``Environment(queue=...)`` / ``make_event_queue`` names.
+QUEUE_KINDS = ("heap", "calendar", "auto")
+
+#: What ``"auto"`` resolves to.  The calendar queue matches the heap on the
+#: fig3-style serving benchmarks (see ``benchmarks/BENCH_kernel.json``) and
+#: wins on NORMAL-timeout-heavy schedules, but the heap has no tuning
+#: parameters at all, so it stays the kernel's pick until the calendar queue
+#: shows a robust win across *all* committed scenarios.
+AUTO_KIND = "heap"
+
+
+class EventQueue:
+    """Contract shared by all pending-event structures.
+
+    Implementations must pop entries in ascending ``(time, priority, eid)``
+    order.  ``pop`` raises :class:`IndexError` when empty (mirroring
+    ``heapq.heappop``); ``peek`` returns ``None`` instead.
+    """
+
+    __slots__ = ()
+
+    def push(self, time: float, priority: int, eid: int, event: Any) -> None:
+        raise NotImplementedError
+
+    def pop(self) -> Entry:
+        raise NotImplementedError
+
+    def peek(self) -> Optional[Entry]:
+        raise NotImplementedError
+
+    def __len__(self) -> int:
+        raise NotImplementedError
+
+
+class HeapEventQueue(EventQueue):
+    """The classic binary-heap event set (``heapq``): O(log n), tuning-free."""
+
+    __slots__ = ("_heap",)
+
+    def __init__(self, initial_time: float = 0.0):
+        self._heap: List[Entry] = []
+
+    def push(self, time: float, priority: int, eid: int, event: Any) -> None:
+        heapq.heappush(self._heap, (time, priority, eid, event))
+
+    def pop(self) -> Entry:
+        return heapq.heappop(self._heap)
+
+    def peek(self) -> Optional[Entry]:
+        return self._heap[0] if self._heap else None
+
+    def __len__(self) -> int:
+        return len(self._heap)
+
+
+class CalendarEventQueue(EventQueue):
+    """A calendar queue: buckets ("days") covering a rolling "year".
+
+    Entries whose time falls inside the current year go into the day bucket
+    ``floor((time - year_start) / day_width) % ...`` — here without the
+    modulo wrap of the classic formulation: each day maps to exactly one
+    bucket and the year advances as a whole, with everything beyond
+    ``year_end`` waiting in a single sorted overflow list.  That keeps the
+    invariants simple enough to prove the bit-identical-ordering contract:
+
+    * day buckets partition ``[year_start, year_end)`` into ascending,
+      non-overlapping intervals, so the first non-empty bucket holds the
+      global minimum;
+    * each bucket (and the overflow list) is kept sorted by the full
+      ``(time, priority, eid)`` key via ``insort``, so ties break exactly
+      like the heap's tuple comparison;
+    * overflow entries all fire at or after ``year_end``, i.e. strictly
+      after every bucketed entry.
+
+    The calendar resizes on occupancy — double the day count when entries
+    outnumber days 2:1, halve when they fall below 1:2 — re-estimating the
+    day width from the mean gap between upcoming events so a day keeps
+    holding O(1) entries as the schedule's density drifts.
+    """
+
+    __slots__ = (
+        "_buckets", "_num_days", "_width", "_year_start", "_year_end",
+        "_cursor", "_overflow", "_size", "_grow_at", "_shrink_at",
+    )
+
+    MIN_DAYS = 16
+    MAX_DAYS = 1 << 20
+
+    def __init__(self, initial_time: float = 0.0, num_days: int = MIN_DAYS,
+                 day_width: float = 1.0):
+        self._overflow: List[Entry] = []
+        self._size = 0
+        self._reset_calendar(num_days, day_width, float(initial_time))
+
+    # -- geometry --------------------------------------------------------
+    def _reset_calendar(self, num_days: int, width: float, year_start: float) -> None:
+        self._buckets: List[List[Entry]] = [[] for _ in range(num_days)]
+        self._num_days = num_days
+        self._width = width
+        self._year_start = year_start
+        self._year_end = year_start + num_days * width
+        self._cursor = 0
+        # Occupancy thresholds, precomputed so the hot paths compare ints.
+        self._grow_at = 2 * num_days if num_days < self.MAX_DAYS else (1 << 62)
+        self._shrink_at = num_days // 2 if num_days > self.MIN_DAYS else -1
+
+    def _day_of(self, time: float) -> int:
+        day = int((time - self._year_start) / self._width)
+        # Clamp both ends: float roundoff at the year boundary can land
+        # exactly on num_days, and a rebuild/year-roll anchors year_start at
+        # the *next pending* event, so a later push may fire before it.
+        # Clamped entries extend the first/last day's interval; insort still
+        # orders them correctly relative to their bucket mates.
+        if day < 0:
+            return 0
+        return day if day < self._num_days else self._num_days - 1
+
+    # -- contract --------------------------------------------------------
+    def push(self, time: float, priority: int, eid: int, event: Any) -> None:
+        entry = (time, priority, eid, event)
+        if time >= self._year_end:
+            insort(self._overflow, entry)
+        else:
+            # Inlined _day_of: this is the kernel's hottest push path.
+            day = int((time - self._year_start) / self._width)
+            if day >= self._num_days:
+                day = self._num_days - 1
+            elif day < 0:
+                day = 0
+            if day < self._cursor:
+                # A push into an already-swept day (the cursor skips empty
+                # days eagerly); rewind so the sweep revisits it.
+                self._cursor = day
+            insort(self._buckets[day], entry)
+        self._size += 1
+        if self._size > self._grow_at:
+            self._rebuild(self._num_days * 2)
+
+    def pop(self) -> Entry:
+        bucket = self._first_bucket()
+        if bucket is None:
+            raise IndexError("pop from an empty CalendarEventQueue")
+        entry = bucket.pop(0)
+        self._size -= 1
+        if self._size < self._shrink_at:
+            self._rebuild(self._num_days // 2)
+        return entry
+
+    def peek(self) -> Optional[Entry]:
+        bucket = self._first_bucket()
+        return bucket[0] if bucket is not None else None
+
+    def __len__(self) -> int:
+        return self._size
+
+    # -- internals -------------------------------------------------------
+    def _first_bucket(self) -> Optional[List[Entry]]:
+        """The bucket holding the minimum entry, rolling the year as needed."""
+        while True:
+            buckets = self._buckets
+            num_days = self._num_days
+            cursor = self._cursor
+            while cursor < num_days:
+                bucket = buckets[cursor]
+                if bucket:
+                    self._cursor = cursor
+                    return bucket
+                cursor += 1
+            self._cursor = num_days
+            if not self._overflow:
+                return None
+            if self._overflow[0][0] == inf:
+                # Everything left is an inf tie (nothing can fire later, so
+                # the year cannot advance past it).  The overflow list is
+                # itself sorted by the full key and new inf pushes insort
+                # into it, so serve it directly as the final bucket.
+                return self._overflow
+            self._advance_year()
+
+    def _advance_year(self) -> None:
+        """All days are empty: jump the year to the next overflow entry."""
+        year_start = self._overflow[0][0]  # finite: inf is handled by the caller
+        year_end = year_start + self._num_days * self._width
+        if year_end <= year_start:
+            # At extreme magnitudes the whole year is below one ulp of the
+            # next event time (e.g. timeout_at(1e18) with day width 1.0) and
+            # the sum rounds back to year_start.  Force the minimal strict
+            # advance so the leading entries always leave the overflow list;
+            # the queue degrades to sorted-list behaviour instead of
+            # spinning forever.
+            year_end = nextafter(year_start, inf)
+        self._year_start = year_start
+        self._year_end = year_end
+        self._cursor = 0
+        # (year_end,) compares below any real entry at that time, so this
+        # splits the overflow into [fires this year | fires later].
+        split = bisect_left(self._overflow, (year_end,))
+        due, self._overflow = self._overflow[:split], self._overflow[split:]
+        buckets = self._buckets
+        for entry in due:  # sorted, and _day_of is monotonic: appends stay sorted
+            buckets[self._day_of(entry[0])].append(entry)
+
+    def _rebuild(self, num_days: int) -> None:
+        """Re-bucket everything into ``num_days`` days of re-estimated width.
+
+        Bucket concatenation is globally sorted (the partition argument from
+        the class docstring) and all overflow entries fire later still, so
+        the rebuilt calendar preserves the total order with plain appends.
+        """
+        entries = [entry for bucket in self._buckets for entry in bucket]
+        entries.extend(self._overflow)
+        width = self._estimate_width(entries)
+        year_start = entries[0][0] if entries else self._year_start
+        if year_start == inf:
+            # Never anchor the year at inf (day arithmetic would overflow on
+            # the next finite push); keep the previous finite anchor and let
+            # the inf entries wait in the overflow list.
+            year_start = self._year_start
+        self._reset_calendar(num_days, width, year_start)
+        self._overflow = []
+        year_end = self._year_end
+        buckets = self._buckets
+        overflow = self._overflow
+        for entry in entries:
+            if entry[0] < year_end:
+                buckets[self._day_of(entry[0])].append(entry)
+            else:
+                overflow.append(entry)
+
+    def _estimate_width(self, entries: List[Entry], sample: int = 64) -> float:
+        """Day width ~ 2x the mean gap between the next ``sample`` events.
+
+        Sampling the *head* of the schedule keeps far-future outliers (which
+        belong in the overflow list anyway) from inflating the width.
+        """
+        times = [entry[0] for entry in entries[:sample]]
+        # Drop ties and non-finite gaps (an inf event time must not produce
+        # an inf day width — the year would swallow the overflow list).
+        gaps = [b - a for a, b in zip(times, times[1:]) if b > a and b - a < inf]
+        if not gaps:
+            return self._width  # ties/empty/inf-only: keep the current estimate
+        width = 2.0 * sum(gaps) / len(gaps)
+        return width if width > 0.0 else self._width
+
+
+def make_event_queue(kind: str = "heap", initial_time: float = 0.0) -> EventQueue:
+    """Build the pending-event structure named ``kind``.
+
+    ``"auto"`` lets the kernel pick (currently the heap — see
+    :data:`AUTO_KIND`).  Unknown names raise :class:`ValueError`.
+    """
+    if kind == "auto":
+        kind = AUTO_KIND
+    if kind == "heap":
+        return HeapEventQueue(initial_time)
+    if kind == "calendar":
+        return CalendarEventQueue(initial_time)
+    raise ValueError(
+        f"Unknown event queue kind {kind!r} (expected one of {', '.join(QUEUE_KINDS)})"
+    )

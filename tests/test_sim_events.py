@@ -4,12 +4,9 @@ import pytest
 
 from repro.sim import (
     AllOf,
-    AnyOf,
     EmptySchedule,
     Environment,
-    Event,
     Interrupt,
-    Timeout,
 )
 
 
@@ -337,6 +334,67 @@ def test_run_until_event_returns_value():
     assert env.now == 2.0
 
 
+def test_run_until_already_processed_event_returns_value():
+    env = Environment()
+    t = env.timeout(1.0, value="done")
+    env.run()
+    assert t.processed
+    assert env.run(until=t) == "done"
+
+
+def test_run_until_already_processed_failed_event_raises():
+    """run(until=ev) on a processed *failed* event must re-raise its exception,
+    exactly like StopSimulation.callback does when the event fires mid-run."""
+    env = Environment()
+    ev = env.event()
+
+    class Boom(Exception):
+        pass
+
+    def waiter(env, ev):
+        try:
+            yield ev
+        except Boom:
+            pass  # defuses the failure so the run itself survives
+
+    def trigger(env, ev):
+        yield env.timeout(1.0)
+        ev.fail(Boom())
+
+    env.process(waiter(env, ev))
+    env.process(trigger(env, ev))
+    env.run()
+    assert ev.processed and not ev.ok
+    with pytest.raises(Boom):
+        env.run(until=ev)
+
+
+def test_run_until_time_is_bit_exact():
+    """run(until=t) stops at exactly t, not at now + (t - now).
+
+    now=0.2, t=0.1*8 accumulated is a pair where the relative-delay round
+    trip lands an ulp low (0.7999999999999998 != 0.7999999999999999).
+    """
+    t = 0.0
+    for _ in range(8):
+        t += 0.1
+    assert 0.2 + (t - 0.2) != t  # the pair actually exhibits the round trip
+
+    env = Environment()
+    env.run(until=0.2)
+    env.run(until=t)
+    assert env.now == t  # exact equality, not approx
+
+    # And it agrees bit-for-bit with a timeout_at at the same instant: the
+    # earlier-scheduled timeout is processed by the same step that reaches t.
+    env2 = Environment()
+    env2.run(until=0.2)
+    timeout = env2.timeout_at(t)
+    env2.run(until=t)
+    assert timeout.processed
+    assert env2.now == env.now == t
+
+
 def test_run_until_untriggerable_event_raises():
     env = Environment()
     ev = env.event()
@@ -410,6 +468,30 @@ def test_timeout_at_fires_at_exact_absolute_time():
     env.process(proc(env))
     env.run()
     assert times == [t]  # exact equality, not approx
+
+
+def test_timeout_reports_delay_and_exact_firing_time():
+    env = Environment()
+    t = env.timeout(2.5)
+    assert t.delay == 2.5
+    assert t.at == 2.5  # env.now + delay, exact
+    assert "Timeout(2.5)" in repr(t)
+
+
+def test_timeout_at_reports_true_firing_time():
+    """timeout_at(t) must report t itself, not the round-tripped t - now
+    (which is what it was built to avoid storing in the first place)."""
+    t = 0.0
+    for _ in range(8):
+        t += 0.1
+    env = Environment()
+    env.run(until=0.2)
+    timeout = env.timeout_at(t)
+    assert timeout.at == t  # exact
+    assert timeout.delay is None  # no misleading round-tripped delay
+    assert f"at={t!r}" in repr(timeout)
+    env.run()
+    assert env.now == t
 
 
 def test_timeout_at_in_past_raises():

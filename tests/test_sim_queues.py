@@ -1,0 +1,325 @@
+"""Pluggable event-queue tests: contract, property equivalence, golden traces.
+
+The kernel's correctness claim for `repro.sim.queues` is that every backend
+pops the exact same ``(time, priority, eid)`` total order, which makes
+simulation results bit-identical regardless of ``Environment(queue=...)``.
+These tests pin that claim three ways:
+
+* unit tests of the :class:`CalendarEventQueue` mechanics (overflow year
+  rolls, occupancy resize, tie ordering);
+* a hypothesis property test driving both queues with identical random
+  schedules — same-time ties, far-future outliers and mid-run insertions;
+* golden traces: a mixed kernel workload and a small engine scenario run
+  under both backends must produce identical traces (and the kernel trace
+  must match a committed literal, so the ordering semantics themselves
+  cannot drift).
+"""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.sim import (
+    CalendarEventQueue,
+    Environment,
+    HeapEventQueue,
+    Interrupt,
+    Resource,
+    make_event_queue,
+)
+
+QUEUES = ("heap", "calendar")
+
+
+# ---------------------------------------------------------------------------
+# contract unit tests
+# ---------------------------------------------------------------------------
+
+def test_make_event_queue_kinds():
+    assert isinstance(make_event_queue("heap"), HeapEventQueue)
+    assert isinstance(make_event_queue("calendar"), CalendarEventQueue)
+    assert isinstance(make_event_queue("auto"), (HeapEventQueue, CalendarEventQueue))
+    with pytest.raises(ValueError):
+        make_event_queue("fibonacci")
+    with pytest.raises(ValueError):
+        Environment(queue="fibonacci")
+
+
+@pytest.mark.parametrize("kind", QUEUES)
+def test_empty_queue_pop_raises_and_peek_returns_none(kind):
+    q = make_event_queue(kind)
+    assert len(q) == 0
+    assert q.peek() is None
+    with pytest.raises(IndexError):
+        q.pop()
+
+
+@pytest.mark.parametrize("kind", QUEUES)
+def test_same_time_ties_break_on_priority_then_eid(kind):
+    q = make_event_queue(kind)
+    q.push(1.0, 1, 3, "n-late")
+    q.push(1.0, 0, 4, "u-late")
+    q.push(1.0, 1, 1, "n-early")
+    q.push(1.0, 0, 2, "u-early")
+    labels = [q.pop()[3] for _ in range(4)]
+    assert labels == ["u-early", "u-late", "n-early", "n-late"]
+
+
+def test_calendar_far_future_goes_to_overflow_and_comes_back():
+    q = CalendarEventQueue()
+    q.push(1e9, 1, 0, "far")
+    q.push(0.5, 1, 1, "near")
+    assert len(q._overflow) == 1  # the outlier waits outside the calendar
+    assert q.pop()[3] == "near"
+    assert q.peek()[3] == "far"  # year rolled forward to reach it
+    assert q.pop()[3] == "far"
+    assert len(q) == 0
+
+
+def test_calendar_resizes_on_occupancy():
+    q = CalendarEventQueue()
+    start_days = q._num_days
+    for eid in range(10 * start_days):
+        q.push(eid * 0.1, 1, eid, eid)
+    assert q._num_days > start_days  # grew with occupancy
+    prev_time = -1.0
+    while len(q):
+        time, _, _, _ = q.pop()
+        assert time >= prev_time
+        prev_time = time
+    assert q._num_days == CalendarEventQueue.MIN_DAYS  # shrank back when drained
+
+
+def test_calendar_extreme_magnitude_times_do_not_hang():
+    """At 1e18 the whole year (16 days x width 1.0) is below one ulp of the
+    event time, so the year roll must force a minimal strict advance instead
+    of spinning forever (regression: _advance_year infinite loop)."""
+    q = CalendarEventQueue()
+    q.push(1e18, 1, 0, "huge")
+    q.push(1e18, 0, 1, "huge-urgent")
+    assert q.peek()[3] == "huge-urgent"
+    assert [q.pop()[3] for _ in range(2)] == ["huge-urgent", "huge"]
+
+    env = Environment(queue="calendar")
+    fired = []
+
+    def proc(env):
+        yield env.timeout_at(1e18)
+        fired.append(env.now)
+
+    env.process(proc(env))
+    env.run()
+    assert fired == [1e18]
+
+
+def test_calendar_infinite_times_are_ordered_last():
+    """inf has no nextafter successor, so the year can never advance past it:
+    inf ties are served straight from the sorted overflow list, and later
+    finite pushes still pop before them."""
+    q = CalendarEventQueue()
+    q.push(float("inf"), 1, 0, "inf-a")
+    q.push(float("inf"), 1, 1, "inf-b")
+    assert q.peek()[3] == "inf-a"
+    q.push(3.0, 1, 2, "finite")
+    # A higher-priority inf tie arriving *after* the peek must still outrank
+    # the older NORMAL-priority inf entries.
+    q.push(float("inf"), 0, 3, "inf-urgent")
+    labels = [q.pop()[3] for _ in range(4)]
+    assert labels == ["finite", "inf-urgent", "inf-a", "inf-b"]
+    with pytest.raises(IndexError):
+        q.pop()
+
+
+def test_calendar_rebuild_with_only_infinite_times():
+    """A growth rebuild while every pending entry is inf must not anchor the
+    year at inf (finite pushes afterwards would overflow day arithmetic)."""
+    q = CalendarEventQueue()
+    for eid in range(3 * CalendarEventQueue.MIN_DAYS):  # trigger growth rebuilds
+        q.push(float("inf"), 1, eid, eid)
+    q.push(1.5, 1, 999, "finite")
+    assert q.pop()[3] == "finite"
+    drained = [q.pop()[2] for _ in range(3 * CalendarEventQueue.MIN_DAYS)]
+    assert drained == sorted(drained)  # inf ties pop in eid order
+
+
+def test_calendar_push_before_rebuilt_year_start():
+    """After a rebuild anchors the year at the next pending event, a push
+    that fires *earlier* (but after `now`) must still pop first."""
+    q = CalendarEventQueue()
+    for eid in range(64):  # force a growth rebuild anchored at t=100
+        q.push(100.0 + eid, 1, eid, eid)
+    assert q._year_start >= 99.0
+    q.push(5.0, 1, 999, "early")
+    assert q.pop()[3] == "early"
+
+
+# ---------------------------------------------------------------------------
+# hypothesis: identical pop sequences under identical schedules
+# ---------------------------------------------------------------------------
+
+@settings(max_examples=200, deadline=None)
+@given(st.data())
+def test_queues_pop_identical_sequences(data):
+    heap, calendar = HeapEventQueue(), CalendarEventQueue()
+    now = 0.0
+    eid = 0
+    size = 0
+    n_ops = data.draw(st.integers(min_value=1, max_value=120), label="n_ops")
+    for _ in range(n_ops):
+        do_pop = size > 0 and data.draw(st.booleans(), label="pop?")
+        if do_pop:
+            a, b = heap.pop(), calendar.pop()
+            assert a == b
+            now = a[0]  # the simulated clock only moves forward
+            size -= 1
+        else:
+            # Mid-run insertion at or after `now` — ties (dt=0), clustered
+            # near-term deltas, and far-future outliers.
+            dt = data.draw(
+                st.one_of(
+                    st.sampled_from([0.0, 0.0, 0.1, 0.25, 1.0, 3.7]),
+                    st.floats(min_value=0.0, max_value=1e7,
+                              allow_nan=False, allow_infinity=False),
+                    # Extreme magnitudes: year spans below one ulp of the
+                    # event time (the _advance_year hang regression regime).
+                    st.sampled_from([1e12, 1e16, 1e18, float("inf")]),
+                ),
+                label="dt",
+            )
+            priority = data.draw(st.sampled_from([0, 1]), label="priority")
+            heap.push(now + dt, priority, eid, eid)
+            calendar.push(now + dt, priority, eid, eid)
+            eid += 1
+            size += 1
+    while len(heap):
+        assert heap.pop() == calendar.pop()
+    assert len(calendar) == 0
+
+
+# ---------------------------------------------------------------------------
+# golden traces
+# ---------------------------------------------------------------------------
+
+def _run_mixed_workload(queue):
+    """A deterministic kernel workload touching ties, interrupts, absolute
+    timeouts, resource contention and a far-future timer."""
+    env = Environment(queue=queue)
+    trace = []
+    resource = Resource(env, capacity=1)
+
+    def worker(name, delays):
+        for delay in delays:
+            yield env.timeout(delay)
+            trace.append((env.now, name))
+
+    def absolute(name, times):
+        for time in times:
+            yield env.timeout_at(time)
+            trace.append((env.now, name))
+
+    def victim():
+        try:
+            yield env.timeout(50.0)
+        except Interrupt as interrupt:
+            trace.append((env.now, f"interrupted:{interrupt.cause}"))
+        yield env.timeout(0.25)
+        trace.append((env.now, "victim-resumed"))
+
+    def interrupter(proc):
+        yield env.timeout(3.3)
+        proc.interrupt("halt")
+
+    def contender(name, start, hold):
+        yield env.timeout(start)
+        request = resource.request()
+        yield request
+        trace.append((env.now, f"{name}-acquired"))
+        yield env.timeout(hold)
+        resource.release(request)
+        trace.append((env.now, f"{name}-released"))
+
+    def far_future():
+        yield env.timeout(1e6)
+        trace.append((env.now, "far-future"))
+
+    env.process(worker("tick-a", [1.0, 1.0, 1.0]))
+    env.process(worker("tick-b", [1.0, 1.0, 1.0]))  # ties with tick-a
+    env.process(absolute("abs", [0.5, 2.0, 2.5]))
+    v = env.process(victim())
+    env.process(interrupter(v))
+    env.process(contender("held", 0.2, 4.0))
+    env.process(contender("blocked", 0.4, 1.0))
+    env.process(far_future())
+    env.run()
+    return trace
+
+
+#: Committed expectation for the first events of the mixed workload under
+#: *any* backend — pins tie-breaking and interrupt ordering semantics.
+GOLDEN_PREFIX = [
+    (0.2, "held-acquired"),
+    (0.5, "abs"),
+    (1.0, "tick-a"),
+    (1.0, "tick-b"),
+    # abs's timeout_at(2.0) was scheduled at t=0.5, before the ticks'
+    # second timeouts (scheduled at t=1.0), so insertion order puts it first.
+    (2.0, "abs"),
+    (2.0, "tick-a"),
+    (2.0, "tick-b"),
+    (2.5, "abs"),
+    (3.0, "tick-a"),
+    (3.0, "tick-b"),
+    (3.3, "interrupted:halt"),
+    (3.55, "victim-resumed"),
+    (4.2, "held-released"),
+    (4.2, "blocked-acquired"),
+    (5.2, "blocked-released"),
+    (1e6, "far-future"),
+]
+
+
+def test_golden_trace_identical_across_queues():
+    traces = {queue: _run_mixed_workload(queue) for queue in QUEUES}
+    assert traces["heap"] == traces["calendar"]
+    assert traces["heap"] == GOLDEN_PREFIX
+
+
+def test_engine_scenario_identical_across_queues():
+    """A small fig3-style engine run is bit-identical under both backends."""
+    from repro.cluster import A100_40GB, dgx_a100_spec
+    from repro.serving import (
+        ContinuousBatchingEngine,
+        EngineConfig,
+        PerformanceModel,
+        default_catalog,
+    )
+    from repro.workload import PoissonArrival, ShareGPTWorkload
+
+    spec = default_catalog().get("Llama-3.3-70B")
+    requests = ShareGPTWorkload().generate(spec.name, num_requests=60)
+    offsets = PoissonArrival(rate=2.0, seed=11).offsets(60)
+
+    def run(queue):
+        env = Environment(queue=queue)
+        perf = PerformanceModel(spec, 8, A100_40GB, node_spec=dgx_a100_spec())
+        engine = ContinuousBatchingEngine(env, perf, EngineConfig(generate_text=False))
+        events = []
+
+        def driver(env):
+            last = 0.0
+            for request, offset in zip(requests, offsets):
+                if offset > last:
+                    yield env.timeout(offset - last)
+                    last = offset
+                events.append(engine.submit(request))
+            yield env.all_of(events)
+
+        env.run(until=env.process(driver(env)))
+        return [
+            (r.request_id, r.success, r.output_tokens, r.prefill_start_time,
+             r.first_token_time, r.completion_time)
+            for r in (ev.value for ev in events)
+        ], sorted(engine.stats.snapshot().items())
+
+    heap_trace, calendar_trace = run("heap"), run("calendar")
+    assert heap_trace == calendar_trace
