@@ -5,18 +5,20 @@ evaluation: it builds the relevant deployment(s), replays the paper's
 workload, prints the same rows/series the paper reports, attaches them to
 the pytest-benchmark report (``extra_info``), and asserts the qualitative
 shape (who wins, approximate ratios, crossover locations).
+
+Scenario execution is delegated to the sweep plane (:mod:`repro.sweep`):
+each helper below builds one declarative :class:`~repro.sweep.ScenarioSpec`
+cell and runs it in-process.  Benchmarks that sweep a grid can expand a
+:class:`~repro.sweep.SweepSpec` and hand the cells to a
+:class:`~repro.sweep.SweepRunner` instead (see ``bench_sweep_scale.py``).
 """
 
 from __future__ import annotations
 
 from typing import Dict, List, Optional
 
-from repro.baselines import DirectVLLMTarget
-from repro.core import FIRSTDeployment, calibration
 from repro.metrics import BenchmarkSummary
-from repro.serving import EngineConfig
-from repro.sim import Environment
-from repro.workload import BenchmarkClient, ShareGPTWorkload, make_arrival
+from repro.sweep import ArrivalSpec, ScenarioSpec
 
 MODEL_70B = "meta-llama/Llama-3.3-70B-Instruct"
 MODEL_8B = "meta-llama/Llama-3.1-8B-Instruct"
@@ -47,28 +49,21 @@ def run_first_scenario(
     With ``stream=True`` every request is sent with streaming enabled, so the
     summary additionally carries gateway-observed TTFT/ITL percentiles.
     """
-    deployment = FIRSTDeployment.sophia_benchmark(
-        model=model, max_instances=max_instances, num_nodes=num_nodes
+    spec = ScenarioSpec(
+        key=f"harness/first/{model}/{rate}",
+        runner="first",
+        model=model,
+        num_requests=num_requests,
+        arrival=ArrivalSpec.for_rate(rate),
+        label=label or f"FIRST @ {rate or 'inf'}",
+        params={
+            "max_instances": max_instances,
+            "prewarm_instances": prewarm_instances,
+            "num_nodes": num_nodes,
+            "stream": stream,
+        },
     )
-    deployment.warm_up(model, instances=prewarm_instances)
-    client = deployment.client("benchmark@anl.gov")
-    # Warm the gateway's token/introspection cache with one request so the
-    # measured run matches the paper's steady-state deployment.
-    warm = client.submit(
-        ShareGPTWorkload().generate(model, num_requests=1, id_prefix="warmup")[0]
-    )
-    deployment.env.run(until=warm)
-
-    requests = ShareGPTWorkload().generate(model, num_requests=num_requests)
-    if stream:
-        for request in requests:
-            request.stream = True
-    bench = BenchmarkClient(deployment.env, client, label="FIRST")
-    proc = deployment.env.process(
-        bench.run(requests, arrival=make_arrival(rate),
-                  summary_label=label or f"FIRST @ {rate or 'inf'}")
-    )
-    return deployment.env.run(until=proc)
+    return spec.run()["summary"]
 
 
 def run_direct_scenario(
@@ -78,26 +73,12 @@ def run_direct_scenario(
     label: Optional[str] = None,
 ) -> BenchmarkSummary:
     """Benchmark the vLLM-Direct path (client → API server → engine)."""
-    from repro.cluster import Node, dgx_a100_spec
-    from repro.serving import default_catalog
-
-    env = Environment()
-    catalog = default_catalog()
-    spec = catalog.get(model)
-    nodes = [Node(f"direct-{i}", dgx_a100_spec()) for i in range(max(1, spec.default_tp // 8))]
-    pending, ready = DirectVLLMTarget.launch(
-        env, spec, nodes,
-        perf_config=calibration.default_perf_config(),
-        engine_config=EngineConfig(generate_text=False),
-        api_config=calibration.default_api_server_config(),
+    spec = ScenarioSpec(
+        key=f"harness/direct/{model}/{rate}",
+        runner="direct",
+        model=model,
+        num_requests=num_requests,
+        arrival=ArrivalSpec.for_rate(rate),
+        label=label or f"vLLM Direct @ {rate or 'inf'}",
     )
-    env.run(until=ready)
-    target = pending.materialise()
-
-    requests = ShareGPTWorkload().generate(spec.name, num_requests=num_requests)
-    bench = BenchmarkClient(env, target, label="vLLM Direct")
-    proc = env.process(
-        bench.run(requests, arrival=make_arrival(rate),
-                  summary_label=label or f"vLLM Direct @ {rate or 'inf'}")
-    )
-    return env.run(until=proc)
+    return spec.run()["summary"]

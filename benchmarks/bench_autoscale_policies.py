@@ -35,6 +35,7 @@ from __future__ import annotations
 
 import argparse
 import json
+import os
 import sys
 from pathlib import Path
 
@@ -44,17 +45,10 @@ from repro.autoscale import AutoscaleConfig  # noqa: E402
 from repro.core import (  # noqa: E402
     ClusterDeploymentSpec,
     DeploymentConfig,
-    FIRSTDeployment,
     ModelDeploymentSpec,
 )
-from repro.workload import (  # noqa: E402
-    BenchmarkClient,
-    DiurnalArrival,
-    PoissonArrival,
-    RampArrival,
-    ShareGPTWorkload,
-    TraceReplayArrival,
-)
+from repro.sweep import ArrivalSpec, ScenarioSpec, SweepRunner  # noqa: E402
+from repro.workload import PoissonArrival  # noqa: E402
 
 BASELINE_PATH = Path(__file__).resolve().parent / "BENCH_autoscale.json"
 MODEL = "meta-llama/Llama-3.3-70B-Instruct"
@@ -91,16 +85,18 @@ P50_TOLERANCE = 0.20
 
 
 # ------------------------------------------------------------------ scenarios
-def make_arrival_and_count(scenario: str, params: dict):
+def make_arrival_spec_and_count(scenario: str, params: dict):
     if scenario == "diurnal":
-        arrival = DiurnalArrival(params["base"], params["peak"],
-                                 period_s=params["period_s"], seed=11)
+        arrival = ArrivalSpec(kind="diurnal", seed=11, params={
+            "base_rate": params["base"], "peak_rate": params["peak"],
+            "period_s": params["period_s"]})
         duration = params["period_s"] * params["cycles"]
         mean_rate = (params["base"] + params["peak"]) / 2.0
         return arrival, int(mean_rate * duration)
     if scenario == "ramp":
-        arrival = RampArrival(params["start"], params["end"],
-                              ramp_s=params["ramp_s"], seed=31)
+        arrival = ArrivalSpec(kind="ramp", seed=31, params={
+            "start_rate": params["start"], "end_rate": params["end"],
+            "ramp_s": params["ramp_s"]})
         mean_ramp = (params["start"] + params["end"]) / 2.0
         n = int(mean_ramp * params["ramp_s"] + params["end"] * params["hold_s"])
         return arrival, n
@@ -117,7 +113,9 @@ def make_arrival_and_count(scenario: str, params: dict):
                 for t in PoissonArrival(params["calm"], seed=23).offsets(2000)
                 if t < params["end_s"] - tail_start]
         trace = sorted(calm + burst + tail)
-        return TraceReplayArrival(trace, name="flash-crowd"), len(trace)
+        arrival = ArrivalSpec(kind="trace",
+                              params={"trace": trace, "name": "flash-crowd"})
+        return arrival, len(trace)
     raise ValueError(f"unknown scenario {scenario!r}")
 
 
@@ -155,8 +153,9 @@ def autoscale_config(policy: str, scenario: str, params: dict) -> AutoscaleConfi
 
 
 # ------------------------------------------------------------------ one run
-def run_policy(policy: str, scenario: str, params: dict) -> dict:
-    arrival, num_requests = make_arrival_and_count(scenario, params)
+def build_cell(policy: str, scenario: str, params: dict) -> ScenarioSpec:
+    """One (policy, scenario) cell on the full FIRST stack."""
+    arrival, num_requests = make_arrival_spec_and_count(scenario, params)
     config = DeploymentConfig(
         clusters=[
             ClusterDeploymentSpec(
@@ -172,75 +171,34 @@ def run_policy(policy: str, scenario: str, params: dict) -> dict:
         users=["benchmark@anl.gov"],
         generate_text=False,
     )
-    deployment = FIRSTDeployment(config)
-    deployment.warm_up(MODEL, instances=FLOOR)
-    client = deployment.client("benchmark@anl.gov")
-    warm = client.submit(
-        ShareGPTWorkload().generate(MODEL, num_requests=1, id_prefix="warmup")[0]
+    return ScenarioSpec(
+        key=f"autoscale/{scenario}/{policy}",
+        runner="autoscale_policy",
+        model=MODEL,
+        num_requests=num_requests,
+        arrival=arrival,
+        params={"deployment": config, "policy": policy, "scenario": scenario,
+                "floor": FLOOR, "quiet_tail_s": QUIET_TAIL_S},
+        tags={"scenario": scenario, "policy": policy},
     )
-    deployment.env.run(until=warm)
-    traffic_start = deployment.now
-
-    endpoint = deployment.endpoints["ep-autoscale"]
-    pool = endpoint.pools[MODEL]
-    if policy == "scheduled":
-        # The cron plan's day starts when traffic opens, not at sim t=0.
-        pool.replicas.policy.epoch_s = traffic_start
-
-    requests = ShareGPTWorkload().generate(MODEL, num_requests=num_requests)
-    bench = BenchmarkClient(deployment.env, client, label=policy)
-    proc = deployment.env.process(
-        bench.run(requests, arrival=arrival,
-                  summary_label=f"{policy} @ {arrival.label}")
-    )
-    summary = deployment.env.run(until=proc)
-
-    scheduler = deployment.schedulers["autoscale"]
-    gpu_hours = scheduler.gpu_seconds() / 3600.0
-    actions = pool.replicas.actions
-    peak = max([a["to"] for a in actions], default=FLOOR)
-
-    # Quiet tail: scale-down-capable policies must return to the floor with
-    # nothing leaked (the scale-up/scale-down cycle acceptance check).
-    deployment.run_for(QUIET_TAIL_S)
-    active_jobs = [j for j in scheduler.all_jobs if not j.state.terminal]
-    probe = client.chat_completion(
-        MODEL, [{"role": "user", "content": "post-cycle route probe"}],
-        max_tokens=16,
-    )
-    return {
-        "policy": policy,
-        "scenario": scenario,
-        "label": summary.label,
-        "num_requests": summary.num_requests,
-        "num_successful": summary.num_successful,
-        "duration_s": round(summary.duration_s, 1),
-        "traffic_start_s": round(traffic_start, 1),
-        "throughput_req_s": round(summary.request_throughput, 3),
-        "p50_latency_s": round(summary.median_latency_s, 3),
-        "mean_latency_s": round(summary.mean_latency_s, 3),
-        "p99_latency_s": round(summary.p99_latency_s, 3),
-        "gpu_hours": round(gpu_hours, 3),
-        "peak_instances": peak,
-        "launches": pool.replicas.launches,
-        "drains": pool.replicas.drains,
-        "final_ready": len(pool.ready_instances),
-        "final_draining": len(pool.draining),
-        "final_provisioned": pool.provisioned_count,
-        "active_jobs_after_tail": len(active_jobs),
-        "jobs_drained": scheduler.jobs_drained,
-        "route_probe_ok": "error" not in probe,
-    }
 
 
 # ------------------------------------------------------------------ sweep + checks
 def run_sweep(scenarios: dict, policies) -> list:
+    cells = [build_cell(policy, scenario, params)
+             for scenario, params in scenarios.items()
+             for policy in policies]
+    workers = int(os.environ.get("BENCH_SWEEP_WORKERS", "1"))
+    result = SweepRunner(workers=workers).run(cells)
+    if not result.ok:
+        for failure in result.failures:
+            print(f"FAIL: {failure.key}\n{failure.error}")
+        raise RuntimeError(f"{len(result.failures)} autoscale cells failed")
     entries = []
-    for scenario, params in scenarios.items():
-        for policy in policies:
-            entry = run_policy(policy, scenario, params)
-            print_entry(entry)
-            entries.append(entry)
+    for shard in result:
+        entry = shard.payload["entry"]
+        print_entry(entry)
+        entries.append(entry)
     return entries
 
 

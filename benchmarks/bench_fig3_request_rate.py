@@ -10,18 +10,17 @@ Paper series (single Sophia node, 8xA100, 1000 ShareGPT requests):
 
 This harness regenerates all four panels (request throughput, output token
 throughput, median end-to-end latency, duration) for both systems across the
-same rate sweep and asserts the crossover.
+same rate sweep and asserts the crossover.  The sweep itself is a grid of
+declarative cells executed by the sweep plane (:mod:`repro.sweep`); set
+``BENCH_SWEEP_WORKERS=N`` to shard the cells across worker processes.
 """
+
+import os
 
 import pytest
 
-from _harness import (
-    MODEL_70B,
-    print_table,
-    run_direct_scenario,
-    run_first_scenario,
-    summaries_to_extra_info,
-)
+from _harness import MODEL_70B, print_table, summaries_to_extra_info
+from repro.sweep import ArrivalSpec, ScenarioSpec, SweepRunner
 
 #: Offered request rates of the paper's sweep (None = infinite).
 RATES = [1.0, 5.0, 10.0, 20.0, None]
@@ -32,17 +31,32 @@ def _rate_label(rate):
     return "inf" if rate is None else f"{rate:g} req/s"
 
 
-def run_sweep():
-    results = {}
+def build_cells():
+    """The figure's grid: (system, rate) cells with the paper's labels."""
+    cells = []
     for rate in RATES:
         n = NUM_REQUESTS if (rate is None or rate >= 5.0) else 300
-        results[("direct", rate)] = run_direct_scenario(
-            MODEL_70B, n, rate, label=f"vLLM Direct @ {_rate_label(rate)}"
-        )
-        results[("first", rate)] = run_first_scenario(
-            MODEL_70B, n, rate, label=f"FIRST @ {_rate_label(rate)}"
-        )
-    return results
+        for system, name in (("direct", "vLLM Direct"), ("first", "FIRST")):
+            cells.append(ScenarioSpec(
+                key=f"fig3/{system}/rate={_rate_label(rate)}",
+                runner=system,
+                model=MODEL_70B,
+                num_requests=n,
+                arrival=ArrivalSpec.for_rate(rate),
+                label=f"{name} @ {_rate_label(rate)}",
+                tags={"system": system, "rate": rate},
+            ))
+    return cells
+
+
+def run_sweep():
+    cells = build_cells()
+    workers = int(os.environ.get("BENCH_SWEEP_WORKERS", "1"))
+    result = SweepRunner(workers=workers).run(cells)
+    assert result.ok, "\n".join(f.error or f.key for f in result.failures)
+    payloads = result.payload_by_key()
+    return {(c.tags["system"], c.tags["rate"]): payloads[c.key]["summary"]
+            for c in cells}
 
 
 @pytest.mark.benchmark(group="fig3")

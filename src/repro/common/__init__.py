@@ -11,7 +11,7 @@ from .errors import (
     ValidationError,
 )
 from .ids import IdGenerator, short_uuid
-from .randomness import RandomSource
+from .randomness import RandomSource, stable_seed
 
 __all__ = [
     "ReproError",
@@ -25,4 +25,5 @@ __all__ = [
     "IdGenerator",
     "short_uuid",
     "RandomSource",
+    "stable_seed",
 ]

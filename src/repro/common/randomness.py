@@ -8,11 +8,23 @@ fixed seed, while independent components can still use independent streams
 
 from __future__ import annotations
 
-from typing import Optional, Sequence
+import hashlib
+from typing import Optional, Sequence, Union
 
 import numpy as np
 
-__all__ = ["RandomSource"]
+__all__ = ["RandomSource", "stable_seed"]
+
+
+def stable_seed(*parts: Union[str, int, float]) -> int:
+    """Deterministic 63-bit seed derived from a tuple of key parts.
+
+    Hash-based (SHA-256), so the result depends only on the key values —
+    never on process, platform or call order.  Useful for keying the
+    integer-``seed`` APIs (workloads, arrival processes) per sweep cell.
+    """
+    digest = hashlib.sha256("\x1f".join(repr(p) for p in parts).encode()).digest()
+    return int.from_bytes(digest[:8], "little") >> 1
 
 
 class RandomSource:
@@ -31,6 +43,26 @@ class RandomSource:
         """Create an independent child stream (deterministic given the parent)."""
         child = object.__new__(RandomSource)
         child._seed_seq = self._seed_seq.spawn(1)[0]
+        child._rng = np.random.default_rng(child._seed_seq)
+        return child
+
+    def spawn_named(self, key: str) -> "RandomSource":
+        """Create an independent child stream keyed by ``key``.
+
+        Unlike :meth:`spawn` — which advances the parent's spawn counter, so
+        the stream a child receives depends on *how many* spawns happened
+        before it — the named stream is a pure function of the parent's seed
+        and the key string.  A sweep shard keyed by its cell key therefore
+        draws the same stream no matter which worker runs it, in what order,
+        or how many other shards were spawned first.
+        """
+        digest = hashlib.sha256(key.encode()).digest()
+        words = tuple(int.from_bytes(digest[i:i + 4], "little") for i in range(0, 16, 4))
+        child = object.__new__(RandomSource)
+        child._seed_seq = np.random.SeedSequence(
+            entropy=self._seed_seq.entropy,
+            spawn_key=tuple(self._seed_seq.spawn_key) + words,
+        )
         child._rng = np.random.default_rng(child._seed_seq)
         return child
 

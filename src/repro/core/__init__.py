@@ -8,6 +8,9 @@ from .deployment import (
     DeploymentConfig,
     FIRSTDeployment,
     ModelDeploymentSpec,
+    federated_config,
+    quickstart_config,
+    sophia_benchmark_config,
 )
 
 __all__ = [
@@ -18,4 +21,7 @@ __all__ = [
     "AutoscaleConfig",
     "FIRSTClient",
     "calibration",
+    "quickstart_config",
+    "sophia_benchmark_config",
+    "federated_config",
 ]

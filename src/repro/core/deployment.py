@@ -58,6 +58,9 @@ __all__ = [
     "ClusterDeploymentSpec",
     "DeploymentConfig",
     "FIRSTDeployment",
+    "quickstart_config",
+    "sophia_benchmark_config",
+    "federated_config",
 ]
 
 
@@ -122,6 +125,85 @@ class DeploymentConfig:
     #: :mod:`repro.sim.queues`).  Simulation results are bit-identical across
     #: backends; only wall-clock differs.
     kernel_queue: str = "heap"
+
+
+def quickstart_config(generate_text: bool = True) -> DeploymentConfig:
+    """Config of :meth:`FIRSTDeployment.quickstart` — a laptop-scale deployment.
+
+    The shipped configs are module-level builders (rather than inline in the
+    classmethods) so sweep cells can embed them and pickle-round-trip them to
+    worker processes.
+    """
+    return DeploymentConfig(
+        clusters=[
+            ClusterDeploymentSpec(
+                name="devcluster",
+                kind="small",
+                num_nodes=2,
+                scheduler="local",
+                models=[
+                    ModelDeploymentSpec("Qwen/Qwen2.5-7B-Instruct", max_parallel_tasks=32),
+                    ModelDeploymentSpec("meta-llama/Llama-3.1-8B-Instruct",
+                                        max_parallel_tasks=32),
+                    ModelDeploymentSpec("nvidia/NV-Embed-v2", backend="infinity"),
+                ],
+            )
+        ],
+        users=["researcher@anl.gov", "student@university.edu"],
+        generate_text=generate_text,
+    )
+
+
+def sophia_benchmark_config(
+    model: str = "meta-llama/Llama-3.3-70B-Instruct",
+    max_instances: int = 1,
+    num_nodes: int = 8,
+    max_parallel_tasks: int = calibration.DEFAULT_MAX_PARALLEL_TASKS,
+    gateway_config: Optional[GatewayConfig] = None,
+) -> DeploymentConfig:
+    """Config of :meth:`FIRSTDeployment.sophia_benchmark` (the §5 deployment)."""
+    return DeploymentConfig(
+        clusters=[
+            ClusterDeploymentSpec(
+                name="sophia",
+                kind="sophia",
+                num_nodes=num_nodes,
+                scheduler="pbs",
+                models=[
+                    ModelDeploymentSpec(
+                        model,
+                        max_instances=max_instances,
+                        max_parallel_tasks=max_parallel_tasks,
+                    )
+                ],
+            )
+        ],
+        gateway=gateway_config or calibration.default_gateway_config(),
+        users=["benchmark@anl.gov"],
+        generate_text=False,
+    )
+
+
+def federated_config(
+    model: str = "meta-llama/Llama-3.1-8B-Instruct",
+    sophia_nodes: int = 4,
+    polaris_nodes: int = 4,
+) -> DeploymentConfig:
+    """Config of :meth:`FIRSTDeployment.federated` (the §4.5 two-facility PoC)."""
+    return DeploymentConfig(
+        clusters=[
+            ClusterDeploymentSpec(
+                name="sophia", kind="sophia", num_nodes=sophia_nodes, scheduler="pbs",
+                models=[ModelDeploymentSpec(model, max_instances=2)],
+            ),
+            ClusterDeploymentSpec(
+                name="polaris", kind="polaris", num_nodes=polaris_nodes, scheduler="pbs",
+                models=[ModelDeploymentSpec(model, max_instances=2)],
+            ),
+        ],
+        users=["benchmark@anl.gov"],
+        generate_text=False,
+    )
 
 
 class FIRSTDeployment:
@@ -327,25 +409,7 @@ class FIRSTDeployment:
     def quickstart(cls, generate_text: bool = True) -> "FIRSTDeployment":
         """A laptop-scale deployment: one 2-node cluster hosting small chat models
         plus the embedding model, with a local (no-queue) scheduler."""
-        config = DeploymentConfig(
-            clusters=[
-                ClusterDeploymentSpec(
-                    name="devcluster",
-                    kind="small",
-                    num_nodes=2,
-                    scheduler="local",
-                    models=[
-                        ModelDeploymentSpec("Qwen/Qwen2.5-7B-Instruct", max_parallel_tasks=32),
-                        ModelDeploymentSpec("meta-llama/Llama-3.1-8B-Instruct",
-                                            max_parallel_tasks=32),
-                        ModelDeploymentSpec("nvidia/NV-Embed-v2", backend="infinity"),
-                    ],
-                )
-            ],
-            users=["researcher@anl.gov", "student@university.edu"],
-            generate_text=generate_text,
-        )
-        return cls(config)
+        return cls(quickstart_config(generate_text))
 
     @classmethod
     def sophia_benchmark(
@@ -357,27 +421,10 @@ class FIRSTDeployment:
         gateway_config: Optional[GatewayConfig] = None,
     ) -> "FIRSTDeployment":
         """The §5 benchmark deployment: a Sophia-like cluster hosting one model."""
-        config = DeploymentConfig(
-            clusters=[
-                ClusterDeploymentSpec(
-                    name="sophia",
-                    kind="sophia",
-                    num_nodes=num_nodes,
-                    scheduler="pbs",
-                    models=[
-                        ModelDeploymentSpec(
-                            model,
-                            max_instances=max_instances,
-                            max_parallel_tasks=max_parallel_tasks,
-                        )
-                    ],
-                )
-            ],
-            gateway=gateway_config or calibration.default_gateway_config(),
-            users=["benchmark@anl.gov"],
-            generate_text=False,
-        )
-        return cls(config)
+        return cls(sophia_benchmark_config(
+            model, max_instances=max_instances, num_nodes=num_nodes,
+            max_parallel_tasks=max_parallel_tasks, gateway_config=gateway_config,
+        ))
 
     @classmethod
     def federated(
@@ -387,18 +434,5 @@ class FIRSTDeployment:
         polaris_nodes: int = 4,
     ) -> "FIRSTDeployment":
         """The §4.5 federation proof of concept: Sophia plus Polaris."""
-        config = DeploymentConfig(
-            clusters=[
-                ClusterDeploymentSpec(
-                    name="sophia", kind="sophia", num_nodes=sophia_nodes, scheduler="pbs",
-                    models=[ModelDeploymentSpec(model, max_instances=2)],
-                ),
-                ClusterDeploymentSpec(
-                    name="polaris", kind="polaris", num_nodes=polaris_nodes, scheduler="pbs",
-                    models=[ModelDeploymentSpec(model, max_instances=2)],
-                ),
-            ],
-            users=["benchmark@anl.gov"],
-            generate_text=False,
-        )
-        return cls(config)
+        return cls(federated_config(model, sophia_nodes=sophia_nodes,
+                                    polaris_nodes=polaris_nodes))

@@ -1,6 +1,7 @@
 """Performance metrics used throughout the reproduction's evaluation."""
 
 from .collector import MetricsCollector, RequestRecord
+from .mergeable import DEFAULT_REL_ERR, LogBucketHistogram, MergeableSummary
 from .summary import BenchmarkSummary, percentile, summarize
 
 __all__ = [
@@ -9,4 +10,7 @@ __all__ = [
     "BenchmarkSummary",
     "summarize",
     "percentile",
+    "LogBucketHistogram",
+    "MergeableSummary",
+    "DEFAULT_REL_ERR",
 ]

@@ -12,7 +12,7 @@ feeding three consumers that previously kept private state:
 """
 
 from .policies import LeastLoadedRouter, PlacementPolicy, PriorityRouter, SLORouter
-from .reservations import ReservationMiddleware
+from .reservations import ReservationMiddleware, ReservationMiddlewareFactory
 from .view import ClusterSignal, PoolSignal, TopologyView
 
 __all__ = [
@@ -24,4 +24,5 @@ __all__ = [
     "LeastLoadedRouter",
     "SLORouter",
     "ReservationMiddleware",
+    "ReservationMiddlewareFactory",
 ]

@@ -23,12 +23,13 @@ reserved-but-unused capacity.
 
 from __future__ import annotations
 
+from dataclasses import dataclass
 from typing import Optional
 
 from ..common import CapacityError, ConfigurationError
 from .view import TopologyView
 
-__all__ = ["ReservationMiddleware"]
+__all__ = ["ReservationMiddleware", "ReservationMiddlewareFactory"]
 
 
 class ReservationMiddleware:
@@ -47,24 +48,16 @@ class ReservationMiddleware:
         self.view = view
 
     @classmethod
-    def factory(cls, view: Optional[TopologyView] = None):
+    def factory(cls, view: Optional[TopologyView] = None) -> "ReservationMiddlewareFactory":
         """Factory for ``GatewayConfig.middleware_factories``.
 
         Without an explicit view the stage binds to the gateway's own
         placement view (``api.topology``, wired by the deployment) at
-        pipeline-assembly time.
+        pipeline-assembly time — and the factory is then a plain picklable
+        value, so configs carrying it survive a pickle round-trip (sweep
+        cells ship their deployment config to worker processes).
         """
-
-        def build(api):
-            resolved = view if view is not None else getattr(api, "topology", None)
-            if resolved is None:
-                raise ConfigurationError(
-                    "ReservationMiddleware needs a TopologyView: pass one to "
-                    "factory(view) or deploy with a placement plane"
-                )
-            return cls(api, resolved)
-
-        return build
+        return ReservationMiddlewareFactory(view)
 
     def process(self, ctx, call_next):
         model = ctx.model_name
@@ -82,3 +75,24 @@ class ReservationMiddleware:
             yield from call_next(ctx)
         finally:
             self.view.release_admission(model, tenant)
+
+
+@dataclass
+class ReservationMiddlewareFactory:
+    """Module-level, picklable ``middleware_factories`` entry.
+
+    ``view=None`` (the picklable form) resolves the gateway's own placement
+    view at pipeline-assembly time; an explicit view pins the stage to that
+    view but ties the factory to live simulation state.
+    """
+
+    view: Optional[TopologyView] = None
+
+    def __call__(self, api) -> ReservationMiddleware:
+        resolved = self.view if self.view is not None else getattr(api, "topology", None)
+        if resolved is None:
+            raise ConfigurationError(
+                "ReservationMiddleware needs a TopologyView: pass one to "
+                "factory(view) or deploy with a placement plane"
+            )
+        return ReservationMiddleware(api, resolved)

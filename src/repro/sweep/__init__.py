@@ -1,0 +1,42 @@
+"""Sweep plane: sharded simulation runs with mergeable metrics.
+
+The horizontal-scale counterpart to the kernel's vertical optimisations:
+scenario grids (rates × policies × seeds, tenant shards, chaos drills)
+expand into independent, pickle-safe cells (:class:`ScenarioSpec` /
+:class:`SweepSpec`), execute across ``multiprocessing`` workers with
+bounded retry (:class:`SweepRunner`), and reduce deterministically to one
+summary via :class:`repro.metrics.MergeableSummary` — bit-identical for
+any worker count.
+
+Quickstart::
+
+    spec = SweepSpec("grid", runner="engine",
+                     base={"model": "Llama-3.3-70B", "num_requests": 1000},
+                     axes={"rate": [1.0, 4.0], "seed": [0, 1]})
+    result = SweepRunner(workers=4).run(spec.expand())
+    print(result.merged(label="grid").row())
+"""
+
+from .runner import ShardResult, SweepResult, SweepRunner
+from .scenarios import (
+    RUNNERS,
+    run_autoscale_policy_cell,
+    run_direct_cell,
+    run_engine_cell,
+    run_first_cell,
+)
+from .spec import ArrivalSpec, ScenarioSpec, SweepSpec
+
+__all__ = [
+    "ArrivalSpec",
+    "ScenarioSpec",
+    "SweepSpec",
+    "ShardResult",
+    "SweepResult",
+    "SweepRunner",
+    "RUNNERS",
+    "run_engine_cell",
+    "run_first_cell",
+    "run_direct_cell",
+    "run_autoscale_policy_cell",
+]
