@@ -22,10 +22,10 @@ def main() -> None:
     #
     #    The whole deployment runs on the from-scratch DES kernel.  Its
     #    pending-event structure is pluggable — `Environment(queue="heap")`
-    #    (default), `"calendar"` (Brown-style calendar queue, pays off on
-    #    very large pending sets) or `"auto"`; at this layer pass
-    #    `DeploymentConfig(kernel_queue=...)`.  Results are bit-identical
-    #    either way, only wall-clock differs (benchmarks/BENCH_kernel.json).
+    #    (default), `"calendar"`, `"packed"` or `"auto"`; at this layer
+    #    pass `DeploymentConfig(kernel_queue=...)`.  Results are
+    #    bit-identical either way, only wall-clock differs — §12 below
+    #    says which to pick.
     deployment = FIRSTDeployment.quickstart()
     print("Deployed FIRST on cluster(s):", ", ".join(deployment.clusters))
 
@@ -150,6 +150,43 @@ def main() -> None:
     #    `workers=4` shards the same cells across 4 spawned processes and
     #    merges to the bit-identical summary (fingerprints are compared in
     #    benchmarks/bench_sweep_scale.py, which runs a 1M-request grid).
+
+    # 12. Choosing a kernel queue.  All four backends produce bit-identical
+    #    simulated results (golden traces + hypothesis laws pin this), so
+    #    the choice is purely about wall-clock on YOUR pending-set size:
+    #
+    #      * "heap"     — default.  C heapq; fastest for the small pending
+    #                     sets (tens to a few thousand timers) every
+    #                     scenario in this file produces.
+    #      * "packed"   — lazy-sorted calendar with packed overflow
+    #                     columns; ~1.6-1.8x the heap once ~100k events are
+    #                     pending (sharded sweeps, federation-scale runs),
+    #                     but roughly at (slightly below) heap parity at
+    #                     small sizes — pure-Python ops cannot beat C heapq
+    #                     there.  Honest numbers for both regimes are in
+    #                     benchmarks/BENCH_kernel.json (`queue_stress` vs
+    #                     `fig3_macro`), measured on a single CPU; your
+    #                     crossover will vary with interpreter and load.
+    #      * "auto"     — starts as a heap, migrates one-way to packed when
+    #                     pending exceeds ~4k: the right default when you
+    #                     do not know the scale in advance.
+    #      * "calendar" — tuple-based calendar queue (PR 5); superseded by
+    #                     "packed" but kept as a second reference backend.
+    #
+    #    Optional compiled stepper: `REPRO_COMPILED_STEPPER=1` makes the
+    #    packed queue compile its overflow binary-probe with cffi at first
+    #    use; `repro.sim.use_compiled_stepper()` opts in programmatically
+    #    and returns True only if the compiled probe is actually active
+    #    for queues built afterwards.  It is off by default — without
+    #    cffi or a C compiler the pure-Python probe runs bit-identically;
+    #    measured single-CPU wins are small because per-call FFI overhead
+    #    eats sub-microsecond savings (ROADMAP item 2 tracks batching many
+    #    events per C call as the follow-up).
+    from repro.sim.queues import QUEUE_KINDS, make_event_queue
+
+    fresh_auto = make_event_queue("auto")
+    print(f"\nKernel queue backends: {', '.join(QUEUE_KINDS)} "
+          f"(a fresh 'auto' starts as {type(fresh_auto).__name__})")
 
 
 if __name__ == "__main__":

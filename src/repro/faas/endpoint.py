@@ -565,6 +565,22 @@ class ComputeEndpoint:
     def ready_instance_count(self) -> int:
         return sum(len(p.ready_instances) for p in self.pools.values())
 
+    def kernel_backlog(self, model: Optional[str] = None) -> int:
+        """Tasks waiting for or holding an instance slot on this endpoint.
+
+        The relay's queue-depth-aware dispatch uses this as its load signal
+        when a submission names several candidate endpoints: ``waiting_tasks``
+        counts arrivals still queueing for a slot, ``in_flight_tasks`` the
+        slots currently held (work admitted to an instance, including
+        requests queued inside its engine).  With ``model`` the measure is
+        restricted to that model's pool."""
+        if model is not None:
+            pool = self._pool(model)
+            return pool.waiting_tasks + pool.in_flight_tasks
+        return sum(
+            p.waiting_tasks + p.in_flight_tasks for p in self.pools.values()
+        )
+
     # -- instance creation (used by pools) -----------------------------------------------
     def create_instance(self, spec, hosting: ModelHostingConfig, nodes):
         instance_id = self._ids.next(f"{self.endpoint_id}-{spec.name.split('/')[-1]}")

@@ -16,12 +16,18 @@ Two timing behaviours matter for the paper's evaluation:
   rate follows ``R(N) = R_max * N / (N + N_half)`` where ``N`` is the number
   of active model instances; the constants are fitted to Fig. 4 (see
   ``repro.core.calibration``).
+
+A submission may name a *list* of candidate endpoints instead of one; the
+relay then dispatches queue-depth-aware: endpoints with ready instances are
+preferred, ties broken by the shortest kernel-queue backlog
+(:meth:`~repro.faas.endpoint.ComputeEndpoint.kernel_backlog`), and finally
+by candidate order, keeping selection deterministic.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Any, Dict, List, Optional
+from typing import Any, Dict, List, Optional, Sequence, Union
 
 from ..common import AuthorizationError, IdGenerator, NotFoundError
 from ..sim import Environment, Resource
@@ -79,6 +85,11 @@ class RelayService:
         self._tasks: Dict[str, TaskRecord] = {}
         self._futures: Dict[str, TaskFuture] = {}
         self._result_channel = Resource(env, capacity=1)
+        #: Tasks routed to an endpoint but not yet handed to it (still inside
+        #: the submit/dispatch latencies).  The endpoint cannot see these, so
+        #: the queue-depth dispatcher adds them to its reported backlog —
+        #: otherwise a same-instant burst would all pick the same endpoint.
+        self._open_dispatches: Dict[str, int] = {}
         #: Confidential client ids allowed to submit (None = open, used in tests).
         self.authorized_client_ids = set(authorized_client_ids or [])
 
@@ -120,22 +131,65 @@ class RelayService:
         """Tasks accepted by the cloud service that have not yet completed."""
         return sum(1 for t in self._tasks.values() if not t.status.terminal)
 
+    def select_endpoint(
+        self,
+        endpoint_id: Union[str, Sequence[str]],
+        model: Optional[str] = None,
+    ):
+        """Resolve a submission target to one endpoint.
+
+        A single id resolves directly.  A sequence of candidate ids is
+        dispatched queue-depth-aware with a deterministic key: endpoints
+        with at least one ready instance first, then the shortest kernel
+        backlog (for ``model`` when given), then candidate order.
+        """
+        if isinstance(endpoint_id, str):
+            return self.get_endpoint(endpoint_id)
+        candidates = [self.get_endpoint(eid) for eid in endpoint_id]
+        if not candidates:
+            raise NotFoundError("Submission named no candidate endpoints")
+        if len(candidates) == 1:
+            return candidates[0]
+
+        def dispatch_key(index: int):
+            endpoint = candidates[index]
+            backlog = endpoint.kernel_backlog(model)
+            backlog += self._open_dispatches.get(endpoint.endpoint_id, 0)
+            return (
+                0 if endpoint.ready_instance_count() > 0 else 1,
+                backlog,
+                index,
+            )
+
+        return candidates[min(range(len(candidates)), key=dispatch_key)]
+
+    @staticmethod
+    def _payload_model(payload: Dict[str, Any]) -> Optional[str]:
+        """Model name a task is for, when the payload reveals one."""
+        request = payload.get("request")
+        model = getattr(request, "model", None)
+        return model if model is not None else payload.get("model")
+
     def submit(
         self,
         function_id: str,
-        endpoint_id: str,
+        endpoint_id: Union[str, Sequence[str]],
         payload: Dict[str, Any],
         submitter: str = "",
         client_id: Optional[str] = None,
     ) -> TaskFuture:
-        """Submit a task; returns a :class:`TaskFuture` immediately."""
+        """Submit a task; returns a :class:`TaskFuture` immediately.
+
+        ``endpoint_id`` may be one endpoint id or a sequence of candidates;
+        see :meth:`select_endpoint` for how a candidate list is dispatched.
+        """
         if self.authorized_client_ids and client_id not in self.authorized_client_ids:
             self.stats.rejected += 1
             raise AuthorizationError(
                 "Caller is not an authorised confidential client of the relay"
             )
         function = self.functions.require_registered(function_id)
-        endpoint = self.get_endpoint(endpoint_id)
+        endpoint = self.select_endpoint(endpoint_id, model=self._payload_model(payload))
         if self.queued_tasks >= self.config.max_queued_tasks:
             self.stats.rejected += 1
             raise RuntimeError("Relay task queue is full")
@@ -143,7 +197,7 @@ class RelayService:
         record = TaskRecord(
             task_id=self._ids.next("task"),
             function_id=function_id,
-            endpoint_id=endpoint_id,
+            endpoint_id=endpoint.endpoint_id,
             payload=payload,
             submitter=submitter,
             submit_time=self.env.now,
@@ -153,6 +207,8 @@ class RelayService:
         self._futures[record.task_id] = future
         self.stats.submitted += 1
         self.stats.peak_queued = max(self.stats.peak_queued, self.queued_tasks)
+        eid = endpoint.endpoint_id
+        self._open_dispatches[eid] = self._open_dispatches.get(eid, 0) + 1
         self.env.process(self._process_task(record, future, function, endpoint))
         return future
 
@@ -164,6 +220,12 @@ class RelayService:
         record.dispatch_time = self.env.now
 
         outcome_event = endpoint.enqueue(record, function)
+        # From here the endpoint's own backlog accounting covers the task.
+        open_count = self._open_dispatches.get(record.endpoint_id, 0)
+        if open_count <= 1:
+            self._open_dispatches.pop(record.endpoint_id, None)
+        else:
+            self._open_dispatches[record.endpoint_id] = open_count - 1
         outcome = yield outcome_event
 
         # Result forwarding through the shared routing channel.

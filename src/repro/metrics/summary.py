@@ -13,7 +13,10 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Sequence
 
-import numpy as np
+try:  # Summaries fall back to pure-Python percentile math without numpy.
+    import numpy as np
+except ImportError:  # pragma: no cover - exercised by the no-numpy CI job
+    np = None
 
 from .collector import MetricsCollector, RequestRecord
 
@@ -21,10 +24,20 @@ __all__ = ["percentile", "BenchmarkSummary", "summarize"]
 
 
 def percentile(values: Sequence[float], q: float) -> float:
-    """Percentile helper that tolerates empty input (returns 0.0)."""
+    """Percentile helper that tolerates empty input (returns 0.0).
+
+    Matches ``np.percentile``'s default linear interpolation; the pure-Python
+    branch exists for numpy-free deployments of the sim core.
+    """
     if not values:
         return 0.0
-    return float(np.percentile(np.asarray(values, dtype=float), q))
+    if np is not None:
+        return float(np.percentile(np.asarray(values, dtype=float), q))
+    data = sorted(float(v) for v in values)
+    rank = (len(data) - 1) * (q / 100.0)
+    lo = int(rank)
+    hi = min(lo + 1, len(data) - 1)
+    return data[lo] + (data[hi] - data[lo]) * (rank - lo)
 
 
 @dataclass
@@ -116,7 +129,7 @@ def summarize(
         request_throughput=request_throughput,
         output_token_throughput=token_throughput,
         median_latency_s=percentile(latencies, 50),
-        mean_latency_s=float(np.mean(latencies)) if latencies else 0.0,
+        mean_latency_s=sum(latencies) / len(latencies) if latencies else 0.0,
         p99_latency_s=percentile(latencies, 99),
         median_ttft_s=percentile(ttfts, 50) if ttfts else None,
         median_itl_s=percentile(itls, 50) if itls else None,

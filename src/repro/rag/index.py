@@ -15,7 +15,10 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Any, List, Optional, Sequence, Tuple
 
-import numpy as np
+try:  # Vector search is numpy-only; the module stays importable without it.
+    import numpy as np
+except ImportError:  # pragma: no cover - exercised by the no-numpy CI job
+    np = None
 
 __all__ = ["SearchHit", "FlatIndex", "IVFIndex"]
 
@@ -46,6 +49,8 @@ class FlatIndex:
     """Exact cosine-similarity search."""
 
     def __init__(self, dim: int):
+        if np is None:
+            raise RuntimeError("FlatIndex requires numpy")
         if dim <= 0:
             raise ValueError("dim must be > 0")
         self.dim = dim
@@ -80,6 +85,8 @@ class IVFIndex:
 
     def __init__(self, dim: int, n_lists: int = 8, nprobe: int = 2, seed: int = 0,
                  kmeans_iters: int = 10):
+        if np is None:
+            raise RuntimeError("IVFIndex requires numpy")
         if dim <= 0 or n_lists <= 0 or nprobe <= 0:
             raise ValueError("dim, n_lists and nprobe must be > 0")
         self.dim = dim

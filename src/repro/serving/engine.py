@@ -22,9 +22,18 @@ performs, and absolute-time scheduling (``Environment.timeout_at``) replays
 them bit-for-bit.
 
 The remaining kernel cost is the pending-event structure itself; it is
-pluggable (``Environment(queue="heap"|"calendar"|"auto")``, see
+pluggable (``Environment(queue="heap"|"calendar"|"packed"|"auto")``, see
 :mod:`repro.sim.queues`) and every backend pops the same total order, so
 engine results do not depend on the choice.
+
+Window *math* is additionally vectorized with numpy when the batch (or
+window) reaches ``EngineConfig.vector_batch_crossover``: the remaining-token
+reduction in :meth:`_plan_window`, the KV-growth targets in
+:meth:`_window_growth`, and the iteration-boundary / busy-time accumulation
+chains (via ``np.cumsum``, whose sequential ``add.accumulate`` reproduces
+the scalar loop's float additions bit-for-bit).  Below the crossover — and
+whenever numpy is not installed — the scalar path runs instead; both paths
+produce bit-identical results, so the dependency stays optional.
 
 A macro-step window ends at the earliest of:
 
@@ -34,8 +43,13 @@ A macro-step window ends at the earliest of:
 * KV growth that cannot be guaranteed for the whole window
   (``grow_bulk`` fails ⇒ fall back to per-token stepping, which performs
   preemption with the exact original semantics);
-* a running sequence with a live stream channel (consumers observe
-  per-token timing, so the engine keeps emitting one event per iteration).
+* a running sequence with a *live* stream channel — one whose consumer has
+  started reading (:attr:`StreamChannel.live`); live consumers observe
+  per-token timing, so the engine keeps emitting one event per iteration.
+  Streaming sequences nobody is reading yet macro-step normally: their
+  token events are published as one bulk batch per window, each event
+  stamped with its exact iteration-boundary time, so TTFT/ITL math is
+  unchanged.
 
 When a request is submitted mid-window, the window is split: the loop is
 interrupted, catches up to the last boundary already passed, finishes the
@@ -60,6 +74,11 @@ from __future__ import annotations
 from collections import deque
 from dataclasses import dataclass
 from typing import Deque, List, Optional, Set, Tuple
+
+try:  # Vector window math is optional: the scalar path is bit-identical.
+    import numpy as _np
+except ImportError:  # pragma: no cover - exercised by the no-numpy CI job
+    _np = None
 
 from ..sim import Environment, Event, Interrupt
 from .kvcache import KVCacheConfig, KVCacheManager
@@ -88,6 +107,11 @@ class EngineConfig:
     #: reference one-event-per-iteration loop; simulated-time results are
     #: identical either way.
     macro_stepping: bool = True
+    #: Batch size (or window length) at which window math switches from the
+    #: scalar loops to numpy array ops.  Both paths are bit-identical; the
+    #: crossover only trades constant factors (array construction overhead
+    #: vs per-element interpreter work).  Ignored when numpy is missing.
+    vector_batch_crossover: int = 32
 
 
 @dataclass
@@ -356,12 +380,19 @@ class ContinuousBatchingEngine:
 
             # Macro-step: one kernel event covers ``iters`` iterations.  The
             # boundary times are accumulated with the same float additions the
-            # per-token loop performs, so they replay bit-for-bit.
-            boundaries = []
-            t = env.now
-            for _ in range(iters):
-                t += step
-                boundaries.append(t)
+            # per-token loop performs, so they replay bit-for-bit; np.cumsum
+            # (sequential add.accumulate) reproduces exactly that chain.
+            if _np is not None and iters >= self.config.vector_batch_crossover:
+                acc = _np.empty(iters + 1, dtype=_np.float64)
+                acc[0] = env.now
+                acc[1:] = step
+                boundaries = _np.cumsum(acc)[1:].tolist()
+            else:
+                boundaries = []
+                t = env.now
+                for _ in range(iters):
+                    t += step
+                    boundaries.append(t)
             window = _Window(step, boundaries, kv_blocked)
             self._window = window
             try:
@@ -428,15 +459,30 @@ class ContinuousBatchingEngine:
         """
         if not self.config.macro_stepping:
             return 1
-        iters: Optional[int] = None
-        for seq in self.running:
-            if seq.stream_channel is not None:
-                # A live consumer observes per-token timing; keep exact events.
+        running = self.running
+        for seq in running:
+            channel = seq.stream_channel
+            if channel is not None and channel.live:
+                # A live consumer observes per-token timing; keep exact
+                # events.  Channels nobody reads yet get their window's
+                # events in bulk from _apply_iterations instead.
                 return 1
-            remaining = seq.target_tokens - seq.generated
-            if iters is None or remaining < iters:
-                iters = remaining
-        if iters is None or iters <= 1:
+        if _np is not None and len(running) >= self.config.vector_batch_crossover:
+            remaining = _np.fromiter(
+                (seq.target_tokens - seq.generated for seq in running),
+                dtype=_np.int64,
+                count=len(running),
+            )
+            iters = int(remaining.min())
+        else:
+            iters = None
+            for seq in running:
+                remaining = seq.target_tokens - seq.generated
+                if iters is None or remaining < iters:
+                    iters = remaining
+            if iters is None:
+                return 1
+        if iters <= 1:
             return 1
         if not self.kv.can_grow_bulk(self._window_growth(iters)):
             # KV pressure possible mid-window: the per-token path reproduces
@@ -451,8 +497,26 @@ class ContinuousBatchingEngine:
         iteration earlier (the per-token loop checks completion before
         growing), hence the missing one-token lookahead for them.
         """
+        running = self.running
+        if _np is not None and len(running) >= self.config.vector_batch_crossover:
+            count = len(running)
+            generated = _np.fromiter(
+                (seq.generated for seq in running), dtype=_np.int64, count=count
+            )
+            targets = _np.fromiter(
+                (seq.target_tokens for seq in running), dtype=_np.int64, count=count
+            )
+            prompts = _np.fromiter(
+                (seq.request.prompt_tokens for seq in running),
+                dtype=_np.int64,
+                count=count,
+            )
+            ends = (
+                prompts + generated + iters + (targets - generated != iters)
+            ).tolist()  # integer math: exact, so identical to the scalar loop
+            return [(seq.seq_id, ends[i]) for i, seq in enumerate(running)]
         growth = []
-        for seq in self.running:
+        for seq in running:
             lookahead = 0 if seq.target_tokens - seq.generated == iters else 1
             growth.append((seq.seq_id, seq.total_tokens + iters + lookahead))
         return growth
@@ -481,8 +545,16 @@ class ContinuousBatchingEngine:
         running = self.running
         stats = self.stats
         step = window.step
-        for _ in range(n):  # same addition order as the per-token loop
-            stats.busy_time_s += step
+        if _np is not None and n >= self.config.vector_batch_crossover:
+            # cumsum accumulates sequentially, so seeding the running total
+            # as element 0 replays the per-token additions bit-for-bit.
+            acc = _np.empty(n + 1, dtype=_np.float64)
+            acc[0] = stats.busy_time_s
+            acc[1:] = step
+            stats.busy_time_s = float(_np.cumsum(acc)[-1])
+        else:
+            for _ in range(n):  # same addition order as the per-token loop
+                stats.busy_time_s += step
         if window.kv_blocked:
             # The per-token loop re-attempts (and fails) the blocked head-of-
             # line admission at every interior boundary; mirror its failure
@@ -499,7 +571,10 @@ class ContinuousBatchingEngine:
                     seq.first_token_time = first_boundary
         growth = []
         for seq in running:
+            before = seq.generated
             seq.generated += n
+            if seq.stream_channel is not None and seq.generated > seq.streamed:
+                self._publish_window_tokens(seq, before, window, done)
             if seq.generated < seq.target_tokens:
                 # Same one-token lookahead the per-token loop grows to after
                 # iteration ``upto``; sequences finishing here never grow in
@@ -583,6 +658,32 @@ class ContinuousBatchingEngine:
         seq.stream_channel.publish(
             StreamEvent(kind="token", index=seq.generated - 1, time=now, text=text)
         )
+
+    def _publish_window_tokens(self, seq: _Sequence, before: int,
+                               window: _Window, done: int) -> None:
+        """Bulk-publish one catch-up's token events for a non-live channel.
+
+        Covers token counts ``before + 1 .. seq.generated`` (skipping any
+        already streamed before a preemption), each stamped with the window
+        boundary the per-token loop would have published it at, and consumes
+        ``stream_words`` in the same order — so a consumer attaching later
+        sees an identical event sequence.
+        """
+        words = None
+        if self.config.generate_text and seq.request.kind != RequestKind.EMBEDDING:
+            if seq.stream_words is None:
+                seq.stream_words = self.text_generator.stream_pieces(seq.request)
+            words = seq.stream_words
+        boundaries = window.boundaries
+        events = []
+        for count in range(max(before, seq.streamed) + 1, seq.generated + 1):
+            text = next(words) if words is not None else ""
+            events.append(
+                StreamEvent(kind="token", index=count - 1,
+                            time=boundaries[done + count - before - 1], text=text)
+            )
+        seq.streamed = seq.generated
+        seq.stream_channel.publish_bulk(events)
 
     def _handle_kv_pressure(self, needy: _Sequence, inactive: Set[_Sequence]) -> None:
         """Preempt the most recently admitted other sequence to free blocks."""

@@ -66,6 +66,7 @@ class StreamChannel:
         self._items: Deque[Any] = deque()
         self._waiters: Deque[Event] = deque()
         self._closed = False
+        self._consumed = False
         self.published = 0
         self.delivered = 0
 
@@ -77,6 +78,25 @@ class StreamChannel:
             self.env.process(self._deliver_later(item, close=False))
         else:
             self._push(item)
+
+    def publish_bulk(self, items: list) -> None:
+        """Publish several events as one batch.
+
+        The engine uses this under macro-stepping when no live consumer is
+        attached (see :attr:`live`): instead of one channel round-trip per
+        token, a whole window's events arrive together.  Each event still
+        carries its own production ``time``, so TTFT/ITL math downstream is
+        unchanged.  With a delivery latency the batch rides a single
+        delayed-delivery hop (items become visible ``delivery_latency_s``
+        after the *publish*, not after their production times — only
+        possible when nobody was consuming live).
+        """
+        self.published += len(items)
+        if self.delivery_latency_s > 0:
+            self.env.process(self._deliver_bulk_later(items))
+        else:
+            for item in items:
+                self._push(item)
 
     def close(self) -> None:
         """Close the channel (idempotent); pending ``get``\\ s resolve to ``None``.
@@ -94,6 +114,11 @@ class StreamChannel:
         if close:
             self._close_now()
         else:
+            self._push(item)
+
+    def _deliver_bulk_later(self, items: list):
+        yield self.env.timeout(self.delivery_latency_s)
+        for item in items:
             self._push(item)
 
     def _push(self, item: Any) -> None:
@@ -121,8 +146,20 @@ class StreamChannel:
     def pending(self) -> int:
         return len(self._items)
 
+    @property
+    def live(self) -> bool:
+        """True once a consumer has ever called :meth:`get`.
+
+        A live channel's consumer observes per-token timing, so the engine
+        keeps emitting one kernel event per iteration for it; channels that
+        nobody is reading (yet) may receive their events in window-sized
+        batches instead.
+        """
+        return self._consumed
+
     def get(self) -> Event:
         """Event resolving to the next item, or ``None`` when closed and empty."""
+        self._consumed = True
         event = self.env.event()
         if self._items:
             self.delivered += 1

@@ -22,7 +22,15 @@ Example
 """
 
 from .environment import EmptySchedule, Environment, StopSimulation
-from .queues import CalendarEventQueue, EventQueue, HeapEventQueue, make_event_queue
+from .queues import (
+    AdaptiveEventQueue,
+    CalendarEventQueue,
+    EventQueue,
+    HeapEventQueue,
+    PackedCalendarEventQueue,
+    make_event_queue,
+    use_compiled_stepper,
+)
 from .events import (
     NORMAL,
     PENDING,
@@ -55,7 +63,10 @@ __all__ = [
     "EventQueue",
     "HeapEventQueue",
     "CalendarEventQueue",
+    "PackedCalendarEventQueue",
+    "AdaptiveEventQueue",
     "make_event_queue",
+    "use_compiled_stepper",
     "Event",
     "Timeout",
     "Process",

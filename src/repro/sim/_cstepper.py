@@ -1,0 +1,115 @@
+"""Optional cffi-compiled inner loop for the packed event queue.
+
+The packed calendar queue's far-future overflow lane keeps parallel
+``(time, key)`` columns — ``key`` packs ``(priority, eid)`` into one
+int64 — in sorted order, and every overflow insertion starts with a
+binary search for the placement position.  This module compiles that
+search to C with :mod:`cffi` when the user opts in, and stays entirely
+out of the way otherwise:
+
+* the build is **lazy** — no compiler or cffi import happens until
+  :func:`build_insert_pos` is first called;
+* activation is **opt-in** via the ``REPRO_COMPILED_STEPPER`` environment
+  variable (or :func:`repro.sim.queues.use_compiled_stepper`), because the
+  sweep plane spawns worker *processes* and an always-on build would
+  recompile once per worker;
+* every failure path (no cffi, no C compiler, sandboxed tmpdir) degrades
+  silently to the pure-Python bisect, which is bit-identical by contract.
+
+The C routine returns the first index ``i`` with
+``(times[i], keys[i]) > (time, key)`` lexicographically — exactly what the
+pure-Python ``bisect_right``-plus-tie-walk computes — so the two paths are
+interchangeable without affecting pop order.
+"""
+
+from __future__ import annotations
+
+import os
+from typing import Callable, Optional
+
+__all__ = ["ENV_FLAG", "requested", "build_insert_pos"]
+
+#: Environment variable that opts the process into compiling the C stepper.
+ENV_FLAG = "REPRO_COMPILED_STEPPER"
+
+_C_SOURCE = r"""
+long repro_packed_insert_pos(double *times, long long *keys, long n,
+                             double time, long long key)
+{
+    /* First index i with (times[i], keys[i]) > (time, key), lexicographic.
+       Mirrors bisect_right over the packed parallel columns; NaN never
+       occurs (event times are finite or +inf, and inf==inf falls through
+       to the integer key compare). */
+    long lo = 0, hi = n;
+    while (lo < hi) {
+        long mid = (lo + hi) >> 1;
+        if (times[mid] > time || (times[mid] == time && keys[mid] > key))
+            hi = mid;
+        else
+            lo = mid + 1;
+    }
+    return lo;
+}
+"""
+
+_cached: Optional[Callable] = None
+_attempted = False
+
+
+def requested() -> bool:
+    """True when the ``REPRO_COMPILED_STEPPER`` env var asks for the C path."""
+    return os.environ.get(ENV_FLAG, "").strip().lower() in ("1", "on", "true", "yes")
+
+
+def build_insert_pos() -> Optional[Callable]:
+    """Compile (once) and return the C insert-position kernel, or ``None``.
+
+    Returns a callable ``insert_pos(times, keys, time, key) -> int`` over
+    ``array('d')``/``array('q')`` columns, or ``None`` when cffi or a C
+    toolchain is unavailable.  The result (including failure) is cached so
+    repeated calls never recompile.
+    """
+    global _cached, _attempted
+    if _attempted:
+        return _cached
+    _attempted = True
+    try:
+        import cffi
+    except ImportError:
+        return None
+    import importlib.util
+    import tempfile
+    try:
+        ffi = cffi.FFI()
+        ffi.cdef(
+            "long repro_packed_insert_pos(double *, long long *, long, "
+            "double, long long);"
+        )
+        ffi.set_source("_repro_packed_stepper", _C_SOURCE)
+        tmpdir = tempfile.mkdtemp(prefix="repro-cstepper-")
+        lib_path = ffi.compile(tmpdir=tmpdir, verbose=False)
+        spec = importlib.util.spec_from_file_location(
+            "_repro_packed_stepper", lib_path
+        )
+        module = importlib.util.module_from_spec(spec)
+        spec.loader.exec_module(module)  # type: ignore[union-attr]
+    except Exception:
+        # No compiler / read-only tmp / linker quirk: the pure-Python path
+        # is always available and bit-identical, so fail quietly.
+        return None
+
+    cfunc = module.lib.repro_packed_insert_pos
+    from_buffer = module.ffi.from_buffer
+
+    def insert_pos(times, keys, time, key):
+        n = len(times)
+        if n == 0:
+            return 0
+        return cfunc(
+            from_buffer("double[]", times),
+            from_buffer("long long[]", keys),
+            n, time, key,
+        )
+
+    _cached = insert_pos
+    return insert_pos

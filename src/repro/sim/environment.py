@@ -44,9 +44,11 @@ class Environment:
     ``queue`` selects the pending-event structure (see
     :mod:`repro.sim.queues`): ``"heap"`` (default binary heap),
     ``"calendar"`` (Brown-style calendar queue, amortised O(1) on
-    clustered schedules) or ``"auto"`` (let the kernel pick).  All
-    backends share the same total order, so simulation results are
-    bit-identical regardless of the choice.
+    clustered schedules), ``"packed"`` (calendar geometry over packed
+    ``array`` columns — no per-entry tuples) or ``"auto"`` (heap that
+    migrates to packed at serving-scale pending counts).  All backends
+    share the same total order, so simulation results are bit-identical
+    regardless of the choice.
     """
 
     def __init__(self, initial_time: float = 0.0, queue: str = "heap"):
@@ -64,6 +66,7 @@ class Environment:
         # call sites and the extra attribute hop is measurable there.
         self._push = self._pending.push
         self._pop = self._pending.pop
+        self._pop2 = self._pending.pop2
 
     # -- properties ------------------------------------------------------
     @property
@@ -144,7 +147,9 @@ class Environment:
             event = self._urgent.popleft()
         else:
             try:
-                self._now, _, _, event = self._pop()
+                # pop2 returns only (time, event) — packed backends skip
+                # materialising the full (time, priority, eid, event) tuple.
+                self._now, event = self._pop2()
             except IndexError:
                 raise EmptySchedule() from None
 

@@ -7,7 +7,7 @@ environment's monotonically increasing insertion counter, so no two entries
 ever compare equal — which means *any* correct implementation pops the exact
 same sequence and simulation results are bit-identical across backends.
 
-Two implementations are provided:
+Four implementations are provided:
 
 * :class:`HeapEventQueue` — the original binary heap (``heapq``).  O(log n)
   push/pop, no tuning, the default.
@@ -20,38 +20,62 @@ Two implementations are provided:
   holds O(1) events, making push/pop amortised O(1) when event times are
   reasonably clustered — the NORMAL-timeout churn profile of the serving
   benchmarks.
+* :class:`PackedCalendarEventQueue` — the serving-scale variant: same
+  calendar geometry, but day buckets are append-only and bulk-sorted
+  *lazily* — one descending C ``list.sort`` the first time the sweep
+  serves a day, then O(1) end-pops — so each entry pays one amortised
+  bulk-sort comparison instead of a per-push ``insort`` or a per-pop heap
+  sift.  The far-future overflow lane is packed parallel
+  ``array('d')``/``array('q')`` time/key columns (a key folds
+  ``(priority, eid)`` into one int64) with a payload side table and
+  searchsorted insertion, optionally served by a cffi-compiled probe
+  (see :mod:`repro.sim._cstepper`); the pure-Python bisect fallback is
+  bit-identical.  ~1.6x the heap at 100k pending
+  (``benchmarks/BENCH_kernel.json``).
+* :class:`AdaptiveEventQueue` — what ``"auto"`` resolves to: starts as the
+  tuning-free heap and migrates (once) to the packed calendar when the
+  pending count crosses serving scale, so small control scripts keep the
+  heap's zero overhead and million-event runs get the packed layout.
 
-Select a backend with ``Environment(queue="heap"|"calendar"|"auto")`` or, at
-the deployment layer, ``DeploymentConfig(kernel_queue=...)``.
+Select a backend with
+``Environment(queue="heap"|"calendar"|"packed"|"auto")`` or, at the
+deployment layer, ``DeploymentConfig(kernel_queue=...)``.
 """
 
 from __future__ import annotations
 
 import heapq
-from bisect import bisect_left, insort
+from array import array
+from bisect import bisect_left, bisect_right, insort
 from math import inf, nextafter
 from typing import Any, List, Optional, Tuple
 
+from . import _cstepper
+
 __all__ = [
     "QUEUE_KINDS",
+    "AUTO_PACKED_THRESHOLD",
     "EventQueue",
     "HeapEventQueue",
     "CalendarEventQueue",
+    "PackedCalendarEventQueue",
+    "AdaptiveEventQueue",
     "make_event_queue",
+    "use_compiled_stepper",
 ]
 
 #: One pending entry: ``(time, priority, eid, event)``.
 Entry = Tuple[float, int, int, Any]
 
 #: Recognised ``Environment(queue=...)`` / ``make_event_queue`` names.
-QUEUE_KINDS = ("heap", "calendar", "auto")
+QUEUE_KINDS = ("heap", "calendar", "packed", "auto")
 
-#: What ``"auto"`` resolves to.  The calendar queue matches the heap on the
-#: fig3-style serving benchmarks (see ``benchmarks/BENCH_kernel.json``) and
-#: wins on NORMAL-timeout-heavy schedules, but the heap has no tuning
-#: parameters at all, so it stays the kernel's pick until the calendar queue
-#: shows a robust win across *all* committed scenarios.
-AUTO_KIND = "heap"
+#: Pending-entry count at which ``"auto"`` migrates from the heap to the
+#: packed calendar.  Below this the heap's constant factors win (and the
+#: calendar's resize machinery is pure overhead); above it the packed
+#: columns amortise — the 100k-pending stress rows in
+#: ``benchmarks/BENCH_kernel.json`` record the gap.
+AUTO_PACKED_THRESHOLD = 4096
 
 
 class EventQueue:
@@ -60,6 +84,10 @@ class EventQueue:
     Implementations must pop entries in ascending ``(time, priority, eid)``
     order.  ``pop`` raises :class:`IndexError` when empty (mirroring
     ``heapq.heappop``); ``peek`` returns ``None`` instead.
+
+    ``pop2`` is the kernel's step fast path: it returns only
+    ``(time, event)`` — the two fields :meth:`Environment.step` actually
+    uses — so packed backends can skip materialising the full 4-tuple.
     """
 
     __slots__ = ()
@@ -69,6 +97,10 @@ class EventQueue:
 
     def pop(self) -> Entry:
         raise NotImplementedError
+
+    def pop2(self) -> Tuple[float, Any]:
+        entry = self.pop()
+        return entry[0], entry[3]
 
     def peek(self) -> Optional[Entry]:
         raise NotImplementedError
@@ -91,11 +123,29 @@ class HeapEventQueue(EventQueue):
     def pop(self) -> Entry:
         return heapq.heappop(self._heap)
 
+    def pop2(self) -> Tuple[float, Any]:
+        entry = heapq.heappop(self._heap)
+        return entry[0], entry[3]
+
     def peek(self) -> Optional[Entry]:
         return self._heap[0] if self._heap else None
 
     def __len__(self) -> int:
         return len(self._heap)
+
+
+def _width_from_gaps(times: List[float], fallback: float,
+                     factor: float = 2.0) -> float:
+    """Day width ~ ``factor`` x the mean gap between the (sorted) head times.
+
+    Drops ties and non-finite gaps: an inf event time must not produce an
+    inf day width, or the year would swallow the overflow list.
+    """
+    gaps = [b - a for a, b in zip(times, times[1:]) if b > a and b - a < inf]
+    if not gaps:
+        return fallback  # ties/empty/inf-only: keep the current estimate
+    width = factor * sum(gaps) / len(gaps)
+    return width if width > 0.0 else fallback
 
 
 class CalendarEventQueue(EventQueue):
@@ -252,9 +302,12 @@ class CalendarEventQueue(EventQueue):
         the class docstring) and all overflow entries fire later still, so
         the rebuilt calendar preserves the total order with plain appends.
         """
+        # Estimate the new width *before* flattening: the head sample is
+        # read straight off the already-sorted leading buckets, touching
+        # O(sample) entries instead of materialising all N twice.
+        width = self._estimate_width()
         entries = [entry for bucket in self._buckets for entry in bucket]
         entries.extend(self._overflow)
-        width = self._estimate_width(entries)
         year_start = entries[0][0] if entries else self._year_start
         if year_start == inf:
             # Never anchor the year at inf (day arithmetic would overflow on
@@ -272,34 +325,567 @@ class CalendarEventQueue(EventQueue):
             else:
                 overflow.append(entry)
 
-    def _estimate_width(self, entries: List[Entry], sample: int = 64) -> float:
+    def _head_times(self, sample: int) -> List[float]:
+        """Times of (up to) the next ``sample`` entries, in pop order.
+
+        Buckets before the cursor are empty by invariant and the bucket
+        concatenation from the cursor onwards is globally sorted, so the
+        walk stops after touching ``sample`` entries — it never flattens
+        the full pending set.
+        """
+        times: List[float] = []
+        for day in range(self._cursor, self._num_days):
+            for entry in self._buckets[day]:
+                times.append(entry[0])
+                if len(times) >= sample:
+                    return times
+        for entry in self._overflow:
+            times.append(entry[0])
+            if len(times) >= sample:
+                break
+        return times
+
+    def _estimate_width(self, sample: int = 64) -> float:
         """Day width ~ 2x the mean gap between the next ``sample`` events.
 
         Sampling the *head* of the schedule keeps far-future outliers (which
-        belong in the overflow list anyway) from inflating the width.
+        belong in the overflow list anyway) from inflating the width, and
+        reading it from the already-sorted leading buckets keeps the
+        estimator O(sample) in entries touched regardless of queue size.
         """
-        times = [entry[0] for entry in entries[:sample]]
-        # Drop ties and non-finite gaps (an inf event time must not produce
-        # an inf day width — the year would swallow the overflow list).
-        gaps = [b - a for a, b in zip(times, times[1:]) if b > a and b - a < inf]
-        if not gaps:
-            return self._width  # ties/empty/inf-only: keep the current estimate
-        width = 2.0 * sum(gaps) / len(gaps)
-        return width if width > 0.0 else self._width
+        return _width_from_gaps(self._head_times(sample), self._width)
+
+
+# ---------------------------------------------------------------------------
+# packed calendar
+# ---------------------------------------------------------------------------
+
+#: Bits reserved for the eid in a packed int64 key; the priority occupies
+#: the bits above.  ``(priority << 56) | eid`` is monotone in
+#: ``(priority, eid)`` as long as both fit, so comparing packed keys is
+#: exactly the tuple tie-break.
+_EID_BITS = 56
+_EID_MASK = (1 << _EID_BITS) - 1
+
+
+def _insert_pos_py(times, keys, time: float, key: int) -> int:
+    """First index ``i`` with ``(times[i], keys[i]) > (time, key)``.
+
+    ``bisect_right`` lands after every equal-time entry; the walk-left
+    restores the key tie-break.  Ties are short by construction (same-time
+    entries differ in eid, and the overflow columns mostly hold distinct
+    far-future times), so the walk is a couple of comparisons, not a scan.
+    """
+    pos = bisect_right(times, time)
+    while pos and times[pos - 1] == time and keys[pos - 1] > key:
+        pos -= 1
+    return pos
+
+
+#: The active insert kernel for packed buckets.  Swapped for the
+#: cffi-compiled version by :func:`use_compiled_stepper` (or at import when
+#: the ``REPRO_COMPILED_STEPPER`` env var is set); both compute the same
+#: position, so the choice never affects pop order.
+_INSERT_POS = _insert_pos_py
+
+
+def use_compiled_stepper(enable: bool = True) -> bool:
+    """Select the packed queue's insert kernel; returns ``True`` if compiled.
+
+    ``enable=True`` lazily builds the cffi stepper (one compile per
+    process, cached) and activates it for queues constructed *afterwards*;
+    if cffi or a C toolchain is missing the pure-Python bisect stays active
+    and ``False`` is returned.  ``enable=False`` reverts to pure Python.
+    """
+    global _INSERT_POS
+    if enable:
+        compiled = _cstepper.build_insert_pos()
+        if compiled is not None:
+            _INSERT_POS = compiled
+            return True
+    _INSERT_POS = _insert_pos_py
+    return False
+
+
+class PackedCalendarEventQueue(EventQueue):
+    """Calendar queue tuned for serving scale: lazy-sorted days, packed overflow.
+
+    Shares :class:`CalendarEventQueue`'s geometry and ordering proof (day
+    buckets partition the year into ascending intervals; overflow fires
+    strictly later; inf ties are served from the sorted overflow), with two
+    structural changes aimed at the 100k-pending serving profile:
+
+    * **Days are append-only and lazily sorted.**  A push appends one
+      plain ``(time, priority, eid, event)`` record and maintains *no*
+      order.  The first time the sweep cursor serves a day, the bucket is
+      sorted **descending** once (``list.sort`` runs the whole comparison
+      loop in C, and the record fields it compares are native floats and
+      small ints) and then popped from the end, so service is O(1) per
+      event with no memmove.  Each entry pays one amortised bulk-sort
+      comparison between arrival and service, replacing the heap's
+      O(log n) sift and the tuple calendar's per-push ``insort``.
+      Pushes that land in the day *currently being serviced* binary-insert
+      into its sorted run instead of appending (an append would force a
+      full re-sort on the next pop; with a pending window narrower than
+      one day that is every pop, and the queue degrades ~3x below the
+      heap at small sizes — the small-set regime then behaves like a
+      sorted-array queue, which is exactly the right structure there).
+    * **Far-future overflow is packed parallel columns.**  Entries beyond
+      the current year wait in ``array('d')``/``array('q')`` time/key
+      columns — a key folds ``(priority, eid)`` into one int64 via
+      ``(priority << 56) | eid``, monotone in the tuple tie-break — plus
+      a side list of payloads; insertion is a searchsorted-style binary
+      probe (:func:`_insert_pos_py`, or the cffi-compiled kernel after
+      :func:`use_compiled_stepper`) followed by a flat memmove of C
+      doubles/int64s — no tuple allocation and no PyObject comparisons on
+      the far-future lane.
+
+    Two packed-layout variants were benchmarked before settling here: day
+    buckets as parallel arrays with searchsorted insertion throughout ran
+    at 0.8-1.0x the heap (``array`` re-boxes every element it yields, so
+    per-op column reads cost more in Python glue than the tuples they
+    avoid), and packing keys on *every* push cost ~90ns/op (the packed
+    key exceeds 2**56, so each one allocates a fresh multi-digit PyLong).
+    The lazy bulk sort over plain records is what clears the bar (see
+    ``benchmarks/BENCH_kernel.json``): it moves the ordering work from
+    per-entry Python-level probes into one C ``list.sort`` per day, and
+    keys are packed only at the overflow columns, which the steady-state
+    serving profile rarely touches.
+
+    The calendar also runs denser than the tuple backend — days grow at
+    :data:`GROWTH` entries/day and the width estimator targets
+    ~:data:`WIDTH_GAPS` entries/day — because bulk-sorting a fuller
+    bucket amortises better than sweeping many near-empty days, and the
+    wider year (~2x the grow threshold's horizon) keeps steady-state
+    pushes out of the overflow columns' O(n) insert path.
+
+    Priorities must fit the packed key — ``0 <= priority < 128`` (the
+    kernel only uses URGENT=0/NORMAL=1) and ``eid < 2**56`` (the
+    environment's insertion counter cannot realistically exceed it) — and
+    the bound is enforced on every push so an entry cannot slip into a day
+    bucket unpacked and later fail at a rebuild's overflow spill.
+    """
+
+    __slots__ = (
+        "_buckets", "_sorted_day", "_num_days", "_width", "_year_start",
+        "_year_end", "_cursor", "_ovf_times", "_ovf_keys", "_ovf_events",
+        "_size", "_grow_at", "_shrink_at", "_insert_pos",
+    )
+
+    MIN_DAYS = 16
+    MAX_DAYS = 1 << 20
+    #: Entries-per-day occupancy that triggers a grow rebuild (the tuple
+    #: calendar grows at 2): denser days amortise the bulk sort better.
+    GROWTH = 4
+    #: Width estimator target in mean head gaps per day.  Keeping
+    #: ``WIDTH_GAPS >= 2 * GROWTH`` makes the year span ~2x the horizon
+    #: implied by the grow threshold, so steady-state pushes land in day
+    #: buckets rather than flooding the overflow columns.
+    WIDTH_GAPS = 8.0
+
+    def __init__(self, initial_time: float = 0.0, num_days: int = MIN_DAYS,
+                 day_width: float = 1.0):
+        self._ovf_times = array("d")
+        self._ovf_keys = array("q")
+        self._ovf_events: List[Any] = []
+        self._size = 0
+        self._insert_pos = _INSERT_POS
+        self._reset_calendar(num_days, day_width, float(initial_time))
+
+    # -- geometry --------------------------------------------------------
+    def _reset_calendar(self, num_days: int, width: float, year_start: float) -> None:
+        self._buckets: List[List[Entry]] = [[] for _ in range(num_days)]
+        self._sorted_day = -1
+        self._num_days = num_days
+        self._width = width
+        self._year_start = year_start
+        self._year_end = year_start + num_days * width
+        self._cursor = 0
+        self._grow_at = (
+            self.GROWTH * num_days if num_days < self.MAX_DAYS else (1 << 62)
+        )
+        self._shrink_at = (
+            (self.GROWTH * num_days) // 4 if num_days > self.MIN_DAYS else -1
+        )
+
+    # -- contract --------------------------------------------------------
+    def push(self, time: float, priority: int, eid: int, event: Any) -> None:
+        if (priority >> 7) or (eid >> _EID_BITS):
+            # Negative values arithmetic-shift to -1 (truthy), so this one
+            # guard also rejects priority < 0 / eid < 0.
+            raise ValueError(
+                f"packed queue requires 0 <= priority < 128 and eid < 2**56 "
+                f"(got priority={priority}, eid={eid})"
+            )
+        if time < self._year_end:
+            day = int((time - self._year_start) / self._width)
+            if day >= self._num_days:
+                day = self._num_days - 1
+            elif day < 0:
+                day = 0
+            if day < self._cursor:
+                self._cursor = day
+            bucket = self._buckets[day]
+            if day == self._sorted_day:
+                # Pushing into the day being serviced.  An append would
+                # break its descending order and force an O(k log k)
+                # re-sort on the very next pop — with a narrow pending
+                # window that is *every* pop, the dominant cost at small
+                # sizes.  A binary insert keeps the order for ~log2(k)
+                # comparisons plus one C-level memmove.  (Checked against
+                # _sorted_day, not the cursor: a backwards push can rewind
+                # the cursor below the still-sorted day.)
+                entry = (time, priority, eid, event)
+                if not bucket or entry < bucket[-1]:
+                    # New minimum (or empty day): descending append is O(1).
+                    bucket.append(entry)
+                else:
+                    lo, hi = 0, len(bucket)
+                    while lo < hi:
+                        mid = (lo + hi) >> 1
+                        if bucket[mid] < entry:  # descending: first smaller
+                            hi = mid
+                        else:
+                            lo = mid + 1
+                    bucket.insert(lo, entry)
+            else:
+                bucket.append((time, priority, eid, event))
+        else:
+            # Only the far-future lane packs the key: the packed value
+            # exceeds 2**56 so building it allocates a multi-digit PyLong,
+            # which would cost ~90ns on every bucketed push for nothing.
+            key = (priority << _EID_BITS) | eid
+            ovf_times = self._ovf_times
+            pos = self._insert_pos(ovf_times, self._ovf_keys, time, key)
+            ovf_times.insert(pos, time)
+            self._ovf_keys.insert(pos, key)
+            self._ovf_events.insert(pos, event)
+        self._size += 1
+        if self._size > self._grow_at:
+            self._rebuild(self._num_days * 2)
+
+    def pop(self) -> Entry:
+        day = self._min_day()
+        if day is None:
+            raise IndexError("pop from an empty PackedCalendarEventQueue")
+        if day < 0:
+            time = self._ovf_times.pop(0)
+            key = self._ovf_keys.pop(0)
+            event = self._ovf_events.pop(0)
+            entry = (time, key >> _EID_BITS, key & _EID_MASK, event)
+        else:
+            entry = self._buckets[day].pop()
+        self._size -= 1
+        if self._size < self._shrink_at:
+            self._rebuild(self._num_days // 2)
+        return entry
+
+    def pop2(self) -> Tuple[float, Any]:
+        # Environment.step's inner loop: the day sweep is inlined (no
+        # _min_day call frame) and only (time, event) are materialised.
+        # Fast path first: repeated pops from the day already sorted and
+        # under the cursor skip the sweep entirely.
+        cursor = self._cursor
+        if cursor == self._sorted_day:
+            bucket = self._buckets[cursor]
+            if bucket:
+                entry = bucket.pop()
+                size = self._size - 1
+                self._size = size
+                if size < self._shrink_at:
+                    self._rebuild(self._num_days // 2)
+                return entry[0], entry[3]
+        while True:
+            buckets = self._buckets
+            num_days = self._num_days
+            cursor = self._cursor
+            while cursor < num_days:
+                bucket = buckets[cursor]
+                if bucket:
+                    self._cursor = cursor
+                    break
+                cursor += 1
+            else:
+                self._cursor = num_days
+                if not self._ovf_times:
+                    raise IndexError(
+                        "pop from an empty PackedCalendarEventQueue"
+                    )
+                if self._ovf_times[0] == inf:
+                    time = self._ovf_times.pop(0)
+                    self._ovf_keys.pop(0)
+                    event = self._ovf_events.pop(0)
+                    self._size -= 1
+                    if self._size < self._shrink_at:
+                        self._rebuild(self._num_days // 2)
+                    return time, event
+                self._advance_year()
+                continue
+            if cursor != self._sorted_day:
+                if len(bucket) > 1:
+                    # One bulk C sort per day generation; descending so
+                    # every service afterwards is an O(1) end-pop.
+                    bucket.sort(reverse=True)
+                self._sorted_day = cursor
+            entry = bucket.pop()
+            self._size -= 1
+            if self._size < self._shrink_at:
+                self._rebuild(self._num_days // 2)
+            return entry[0], entry[3]
+
+    def peek(self) -> Optional[Entry]:
+        day = self._min_day()
+        if day is None:
+            return None
+        if day < 0:
+            key = self._ovf_keys[0]
+            return (
+                self._ovf_times[0],
+                key >> _EID_BITS,
+                key & _EID_MASK,
+                self._ovf_events[0],
+            )
+        return self._buckets[day][-1]
+
+    def __len__(self) -> int:
+        return self._size
+
+    # -- internals -------------------------------------------------------
+    def _min_day(self) -> Optional[int]:
+        """Index of the day holding the minimum entry (sorted descending,
+        minimum at the end), ``-1`` when the minimum is an inf tie served
+        from the overflow columns, or ``None`` when empty.  Rolls the year
+        as needed."""
+        while True:
+            buckets = self._buckets
+            num_days = self._num_days
+            cursor = self._cursor
+            while cursor < num_days:
+                bucket = buckets[cursor]
+                if bucket:
+                    self._cursor = cursor
+                    if cursor != self._sorted_day:
+                        if len(bucket) > 1:
+                            bucket.sort(reverse=True)
+                        self._sorted_day = cursor
+                    return cursor
+                cursor += 1
+            self._cursor = num_days
+            if not self._ovf_times:
+                return None
+            if self._ovf_times[0] == inf:
+                return -1
+            self._advance_year()
+
+    def _advance_year(self) -> None:
+        """All days are empty: jump the year to the next overflow entry."""
+        ovf_times = self._ovf_times
+        year_start = ovf_times[0]  # finite: inf is handled by the caller
+        year_end = year_start + self._num_days * self._width
+        if year_end <= year_start:
+            # Same ulp-scale guard as CalendarEventQueue._advance_year.
+            year_end = nextafter(year_start, inf)
+        self._year_start = year_start
+        self._year_end = year_end
+        self._cursor = 0
+        self._sorted_day = -1
+        # First index with time >= year_end: splits [fires this year | later].
+        split = bisect_left(ovf_times, year_end)
+        due_times = ovf_times[:split]
+        due_keys = self._ovf_keys[:split]
+        due_events = self._ovf_events[:split]
+        del ovf_times[:split]
+        del self._ovf_keys[:split]
+        del self._ovf_events[:split]
+        width = self._width
+        start = year_start
+        last = self._num_days - 1
+        buckets = self._buckets
+        for i in range(len(due_times)):
+            time = due_times[i]
+            day = int((time - start) / width)
+            if day > last:
+                day = last
+            elif day < 0:
+                day = 0
+            key = due_keys[i]
+            buckets[day].append(
+                (time, key >> _EID_BITS, key & _EID_MASK, due_events[i])
+            )
+
+    def _rebuild(self, num_days: int) -> None:
+        """Re-bucket everything into ``num_days`` days of re-estimated width.
+
+        Same ordering argument as :meth:`CalendarEventQueue._rebuild`,
+        except bucket contents carry no order here (they are re-sorted
+        lazily at service), so only the overflow columns need sorting.
+        """
+        width = self._estimate_width()  # O(sample): reads the leading buckets
+        entries = [entry for bucket in self._buckets for entry in bucket]
+        ovf_times = self._ovf_times
+        # Buckets are unsorted between services, so the year anchor is a
+        # computed minimum, not the first record.  Every bucketed time is
+        # below year_end and every overflow time at or above it, so the
+        # bucket minimum (when any) is the global one.
+        if entries:
+            year_start = min(entry[0] for entry in entries)
+        elif ovf_times:
+            year_start = ovf_times[0]
+        else:
+            year_start = self._year_start
+        if year_start == inf:
+            # Same inf-anchor guard as the tuple calendar.
+            year_start = self._year_start
+        ovf_keys = self._ovf_keys
+        ovf_events = self._ovf_events
+        for i in range(len(ovf_times)):
+            key = ovf_keys[i]
+            entries.append(
+                (ovf_times[i], key >> _EID_BITS, key & _EID_MASK, ovf_events[i])
+            )
+        self._reset_calendar(num_days, width, year_start)
+        self._ovf_times = array("d")
+        self._ovf_keys = array("q")
+        self._ovf_events = []
+        year_end = self._year_end
+        start = self._year_start
+        day_width = self._width
+        last = num_days - 1
+        buckets = self._buckets
+        spill: List[Entry] = []
+        for entry in entries:
+            time = entry[0]
+            if time < year_end:
+                day = int((time - start) / day_width)
+                if day > last:
+                    day = last
+                elif day < 0:
+                    day = 0
+                buckets[day].append(entry)
+            else:
+                spill.append(entry)
+        if spill:
+            # (time, priority, eid) triples are unique, so the record sort
+            # never compares payloads, and packing the sorted triples
+            # yields columns in exactly searchsorted order.
+            spill.sort()
+            ovf_times = self._ovf_times
+            ovf_keys = self._ovf_keys
+            ovf_events = self._ovf_events
+            for time, priority, eid, event in spill:
+                ovf_times.append(time)
+                ovf_keys.append((priority << _EID_BITS) | eid)
+                ovf_events.append(event)
+
+    def _head_times(self, sample: int) -> List[float]:
+        """Times of (up to ~) the next ``sample`` entries, sorted ascending.
+
+        Day buckets are unsorted between services, but the partition
+        invariant still bounds every entry of day *i* below every entry of
+        day *i+1*, so collecting bucket-by-bucket and sorting once yields
+        the true head.  Work is O(sample log sample) on O(sample + one
+        bucket) entries touched — never the full pending set.
+        """
+        times: List[float] = []
+        for day in range(self._cursor, self._num_days):
+            bucket = self._buckets[day]
+            if bucket:
+                times.extend(entry[0] for entry in bucket)
+                if len(times) >= sample:
+                    break
+        times.sort()
+        del times[sample:]
+        if len(times) < sample:
+            times.extend(self._ovf_times[: sample - len(times)])
+        return times
+
+    def _estimate_width(self, sample: int = 64) -> float:
+        """See :meth:`CalendarEventQueue._estimate_width` — same estimator,
+        with the denser :data:`WIDTH_GAPS` target (see the class docstring
+        for why the packed year runs wider)."""
+        return _width_from_gaps(
+            self._head_times(sample), self._width, factor=self.WIDTH_GAPS
+        )
+
+
+class AdaptiveEventQueue(EventQueue):
+    """The ``"auto"`` backend: a heap that turns packed at serving scale.
+
+    Starts as :class:`HeapEventQueue` (zero tuning, best constants on small
+    pending sets) and migrates — once, irreversibly — to
+    :class:`PackedCalendarEventQueue` when the pending count first exceeds
+    ``AUTO_PACKED_THRESHOLD``.  The migration sorts the heap (same total
+    order the heap would have popped) and replays it into the packed
+    calendar, so the pop sequence across the switch is unchanged and runs
+    stay bit-identical to every other backend.
+
+    No migration back: pending counts oscillate around any threshold, and
+    the packed queue already degrades gracefully when the set shrinks
+    (occupancy rebuilds walk it back down to MIN_DAYS).
+    """
+
+    __slots__ = ("_backend", "_migrated", "_threshold")
+
+    def __init__(self, initial_time: float = 0.0,
+                 threshold: int = AUTO_PACKED_THRESHOLD):
+        self._backend: EventQueue = HeapEventQueue(initial_time)
+        self._migrated = False
+        self._threshold = threshold
+
+    @property
+    def backend(self) -> EventQueue:
+        """The currently active underlying queue (heap, then packed)."""
+        return self._backend
+
+    def push(self, time: float, priority: int, eid: int, event: Any) -> None:
+        backend = self._backend
+        backend.push(time, priority, eid, event)
+        if not self._migrated and len(backend) > self._threshold:
+            self._migrate()
+
+    def _migrate(self) -> None:
+        entries = sorted(self._backend._heap)  # type: ignore[attr-defined]
+        packed = PackedCalendarEventQueue()
+        for time, priority, eid, event in entries:
+            packed.push(time, priority, eid, event)
+        self._backend = packed
+        self._migrated = True
+
+    def pop(self) -> Entry:
+        return self._backend.pop()
+
+    def pop2(self) -> Tuple[float, Any]:
+        return self._backend.pop2()
+
+    def peek(self) -> Optional[Entry]:
+        return self._backend.peek()
+
+    def __len__(self) -> int:
+        return len(self._backend)
 
 
 def make_event_queue(kind: str = "heap", initial_time: float = 0.0) -> EventQueue:
     """Build the pending-event structure named ``kind``.
 
-    ``"auto"`` lets the kernel pick (currently the heap — see
-    :data:`AUTO_KIND`).  Unknown names raise :class:`ValueError`.
+    ``"auto"`` builds the adaptive queue (heap below
+    :data:`AUTO_PACKED_THRESHOLD` pending entries, packed calendar above).
+    Unknown names raise :class:`ValueError`.
     """
-    if kind == "auto":
-        kind = AUTO_KIND
     if kind == "heap":
         return HeapEventQueue(initial_time)
     if kind == "calendar":
         return CalendarEventQueue(initial_time)
+    if kind == "packed":
+        return PackedCalendarEventQueue(initial_time)
+    if kind == "auto":
+        return AdaptiveEventQueue(initial_time)
     raise ValueError(
         f"Unknown event queue kind {kind!r} (expected one of {', '.join(QUEUE_KINDS)})"
     )
+
+
+# Opt-in activation of the compiled stepper at import time (one compile per
+# process, cached).  Kept env-var-gated because sweep workers are separate
+# processes: an unconditional build would recompile in every worker.
+if _cstepper.requested():  # pragma: no cover - exercised via subprocess test
+    use_compiled_stepper(True)

@@ -1,0 +1,115 @@
+"""Macro-stepping equivalence tests for the embedding engine.
+
+The macro-stepped embedding engine (``EmbeddingEngineConfig.macro_stepping``)
+must reproduce the stepwise reference loop exactly — same completion times
+for every request — while scheduling fewer kernel events.
+"""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.serving import (
+    EmbeddingEngine,
+    EmbeddingEngineConfig,
+    InferenceRequest,
+    RequestKind,
+    default_catalog,
+)
+from repro.sim import Environment
+from repro.workload import PoissonArrival
+
+CATALOG = default_catalog()
+SPEC = CATALOG.get("nvidia/NV-Embed-v2")
+
+
+def make_request(i, prompt_tokens=64):
+    return InferenceRequest(
+        request_id=f"emb-{i:04d}",
+        model=SPEC.name,
+        prompt_tokens=prompt_tokens,
+        max_output_tokens=1,
+        kind=RequestKind.EMBEDDING,
+        prompt_text=f"document {i} about GPU memory",
+    )
+
+
+def run_trace(macro, token_counts, offsets, max_batch_size=8, count_events=False):
+    """Drive one embedding engine over a timed workload."""
+    env = Environment()
+    config = EmbeddingEngineConfig(
+        max_batch_size=max_batch_size,
+        embedding_dim=SPEC.embedding_dim or 384,
+        macro_stepping=macro,
+    )
+    engine = EmbeddingEngine(env, SPEC, num_gpus=1, config=config)
+    steps = 0
+    if count_events:
+        original = env.step
+
+        def counting_step():
+            nonlocal steps
+            steps += 1
+            original()
+
+        env.step = counting_step
+    events = []
+
+    def driver(env):
+        last = 0.0
+        for i, (tokens, offset) in enumerate(zip(token_counts, offsets)):
+            if offset > last:
+                yield env.timeout(offset - last)
+                last = offset
+            events.append(engine.submit(make_request(i, tokens)))
+
+    env.process(driver(env))
+    env.run()
+    trace = [
+        (ev.value.request_id, ev.value.completion_time, ev.value.success)
+        for ev in events
+    ]
+    return {"trace": trace, "completed": engine.completed,
+            "end_time": env.now, "steps": steps}
+
+
+def test_burst_backlog_is_bit_identical_and_cheaper():
+    """A burst that fills several complete batches: identical completion
+    times with roughly half the kernel events (one per batch, not two)."""
+    token_counts = [32 + (i * 7) % 90 for i in range(40)]
+    offsets = [0.0] * 40
+    golden = run_trace(False, token_counts, offsets, count_events=True)
+    macro = run_trace(True, token_counts, offsets, count_events=True)
+    assert macro["trace"] == golden["trace"]
+    assert macro["end_time"] == golden["end_time"]
+    assert macro["steps"] < golden["steps"]
+
+
+def test_arrivals_during_window_join_partial_batches_identically():
+    """Requests landing inside an open batching window must join the same
+    batch in both modes (macro only plans batches that are already full)."""
+    token_counts = [50] * 12
+    # Three at t=0 (partial batch), more trickling in just inside the
+    # 10 ms batching window, then a second burst while batch 1 serves.
+    offsets = [0.0, 0.0, 0.0, 0.004, 0.006, 0.009,
+               0.02, 0.02, 0.02, 0.02, 0.02, 0.021]
+    golden = run_trace(False, token_counts, offsets, max_batch_size=4)
+    macro = run_trace(True, token_counts, offsets, max_batch_size=4)
+    assert macro == golden
+
+
+@settings(max_examples=30, deadline=None)
+@given(
+    token_counts=st.lists(st.integers(min_value=1, max_value=512),
+                          min_size=1, max_size=60),
+    rate=st.floats(min_value=5.0, max_value=5000.0),
+    max_batch_size=st.integers(min_value=1, max_value=12),
+)
+def test_property_macro_stepping_is_equivalence_preserving(
+        token_counts, rate, max_batch_size):
+    """Any arrival pattern, any batch size: completion times never differ."""
+    offsets = PoissonArrival(rate=rate, seed=29).offsets(len(token_counts))
+    golden = run_trace(False, token_counts, offsets,
+                       max_batch_size=max_batch_size)
+    macro = run_trace(True, token_counts, offsets,
+                      max_batch_size=max_batch_size)
+    assert macro == golden

@@ -5,6 +5,7 @@ The macro-stepped engine must reproduce the per-token reference loop
 per-request timings, same stats, same KV accounting, same preemptions.
 """
 
+import pytest
 from hypothesis import given, settings
 from hypothesis import strategies as st
 
@@ -41,27 +42,27 @@ def result_trace(result):
     return tuple(getattr(result, f) for f in RESULT_FIELDS)
 
 
-def make_engine(env, macro, spec=SPEC_70B, tp=8, kv_capacity=None, max_num_seqs=256):
+def make_engine(env, macro, spec=SPEC_70B, tp=8, kv_capacity=None, max_num_seqs=256,
+                crossover=None):
     perf = PerformanceModel(spec, tp, A100_40GB, node_spec=dgx_a100_spec())
     if kv_capacity is not None:
         class TinyKV(PerformanceModel):
             def kv_capacity_tokens(self, vram_utilization=0.9):
                 return kv_capacity
         perf = TinyKV(spec, tp, A100_40GB, node_spec=dgx_a100_spec())
-    return ContinuousBatchingEngine(
-        env,
-        perf,
-        EngineConfig(generate_text=False, macro_stepping=macro,
-                     max_num_seqs=max_num_seqs),
-    )
+    config = EngineConfig(generate_text=False, macro_stepping=macro,
+                          max_num_seqs=max_num_seqs)
+    if crossover is not None:
+        config.vector_batch_crossover = crossover
+    return ContinuousBatchingEngine(env, perf, config)
 
 
 def run_trace(macro, requests, offsets, kv_capacity=None, stream_indices=(),
-              stop_at=None, drain_at=None, max_num_seqs=256):
+              stop_at=None, drain_at=None, max_num_seqs=256, crossover=None):
     """Drive one engine over a timed workload; returns the full golden trace."""
     env = Environment()
     engine = make_engine(env, macro, kv_capacity=kv_capacity,
-                         max_num_seqs=max_num_seqs)
+                         max_num_seqs=max_num_seqs, crossover=crossover)
     stream_events = {}
     events = []
 
@@ -351,3 +352,71 @@ def test_macro_stepping_uses_fewer_kernel_events():
         return steps
 
     assert count_steps(True) * 5 < count_steps(False)
+
+
+def _run_streaming_unconsumed(macro):
+    """One streaming request nobody reads plus a plain neighbour; returns the
+    channel's undelivered event trace and the kernel-event count."""
+    env = Environment()
+    engine = make_engine(env, macro)
+    channel = StreamChannel(env)
+    request = InferenceRequest("ns-0", SPEC_70B.name, prompt_tokens=80,
+                               max_output_tokens=120)
+    request.stream = True
+    request.metadata[STREAM_CHANNEL_KEY] = channel
+    steps = 0
+    original = env.step
+
+    def counting_step():
+        nonlocal steps
+        steps += 1
+        original()
+
+    env.step = counting_step
+    done = engine.submit(request)
+    other = engine.submit(InferenceRequest("ns-1", SPEC_70B.name, prompt_tokens=60,
+                                           max_output_tokens=90))
+    env.run(until=env.all_of([done, other]))
+    trace = [(item.kind, item.index, item.time) for item in channel._items]
+    return trace, steps
+
+
+def test_unconsumed_stream_macro_steps_with_identical_events():
+    """A streaming channel nobody is reading must not force per-token
+    stepping: the macro engine delivers the same event sequence (same kinds,
+    indices and production times) in window-sized batches, with far fewer
+    kernel events."""
+    macro_trace, macro_steps = _run_streaming_unconsumed(True)
+    ref_trace, ref_steps = _run_streaming_unconsumed(False)
+    assert macro_trace == ref_trace
+    assert macro_trace[-1][0] == "done"
+    assert len(macro_trace) == 121  # 120 tokens + done
+    assert macro_steps * 5 < ref_steps
+
+
+@pytest.mark.parametrize("crossover", [1, 10**9])
+def test_vectorized_planning_is_bit_identical_across_crossover(crossover):
+    """Forcing the numpy path on (crossover=1) or off (crossover=huge) must
+    not perturb a single timing relative to the per-token reference — the
+    scenario's batch widths span the default crossover from both sides."""
+    workload = ShareGPTWorkload()
+    offsets = PoissonArrival(rate=6.0, seed=17).offsets(80)
+    golden = run_trace(False, workload.generate(SPEC_70B.name, num_requests=80),
+                       offsets)
+    vec = run_trace(True, workload.generate(SPEC_70B.name, num_requests=80),
+                    offsets, crossover=crossover)
+    assert vec == golden
+
+
+def test_macro_stepping_without_numpy_is_bit_identical(monkeypatch):
+    """The scalar fallback (numpy absent) replays the reference exactly."""
+    import repro.serving.engine as engine_mod
+
+    workload = ShareGPTWorkload()
+    offsets = PoissonArrival(rate=6.0, seed=19).offsets(60)
+    golden = run_trace(False, workload.generate(SPEC_70B.name, num_requests=60),
+                       offsets)
+    monkeypatch.setattr(engine_mod, "_np", None)
+    macro = run_trace(True, workload.generate(SPEC_70B.name, num_requests=60),
+                      offsets)
+    assert macro == golden

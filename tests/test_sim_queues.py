@@ -5,30 +5,37 @@ pops the exact same ``(time, priority, eid)`` total order, which makes
 simulation results bit-identical regardless of ``Environment(queue=...)``.
 These tests pin that claim three ways:
 
-* unit tests of the :class:`CalendarEventQueue` mechanics (overflow year
-  rolls, occupancy resize, tie ordering);
-* a hypothesis property test driving both queues with identical random
+* unit tests of the :class:`CalendarEventQueue` /
+  :class:`PackedCalendarEventQueue` mechanics (overflow year rolls,
+  occupancy resize, tie ordering, lazy re-sort invalidation);
+* a hypothesis property test driving every backend with identical random
   schedules — same-time ties, far-future outliers and mid-run insertions;
 * golden traces: a mixed kernel workload and a small engine scenario run
-  under both backends must produce identical traces (and the kernel trace
+  under all backends must produce identical traces (and the kernel trace
   must match a committed literal, so the ordering semantics themselves
-  cannot drift).
+  cannot drift);
+* compiled-stepper on/off equivalence for the packed overflow columns.
 """
+
+import heapq
 
 import pytest
 from hypothesis import given, settings
 from hypothesis import strategies as st
 
 from repro.sim import (
+    AdaptiveEventQueue,
     CalendarEventQueue,
     Environment,
     HeapEventQueue,
     Interrupt,
+    PackedCalendarEventQueue,
     Resource,
     make_event_queue,
+    use_compiled_stepper,
 )
 
-QUEUES = ("heap", "calendar")
+QUEUES = ("heap", "calendar", "packed")
 
 
 # ---------------------------------------------------------------------------
@@ -38,7 +45,10 @@ QUEUES = ("heap", "calendar")
 def test_make_event_queue_kinds():
     assert isinstance(make_event_queue("heap"), HeapEventQueue)
     assert isinstance(make_event_queue("calendar"), CalendarEventQueue)
-    assert isinstance(make_event_queue("auto"), (HeapEventQueue, CalendarEventQueue))
+    assert isinstance(make_event_queue("packed"), PackedCalendarEventQueue)
+    auto = make_event_queue("auto")
+    assert isinstance(auto, AdaptiveEventQueue)
+    assert isinstance(auto.backend, HeapEventQueue)  # starts as the heap
     with pytest.raises(ValueError):
         make_event_queue("fibonacci")
     with pytest.raises(ValueError):
@@ -154,13 +164,181 @@ def test_calendar_push_before_rebuilt_year_start():
 
 
 # ---------------------------------------------------------------------------
+# packed calendar mechanics
+# ---------------------------------------------------------------------------
+
+def test_packed_far_future_goes_to_overflow_and_comes_back():
+    q = PackedCalendarEventQueue()
+    q.push(1e9, 1, 0, "far")
+    q.push(0.5, 1, 1, "near")
+    assert len(q._ovf_times) == 1  # the outlier waits in the packed columns
+    assert q.pop()[3] == "near"
+    assert q.peek()[3] == "far"  # year rolled forward to reach it
+    assert q.pop()[3] == "far"
+    assert len(q) == 0
+
+
+def test_packed_resizes_on_occupancy():
+    q = PackedCalendarEventQueue()
+    start_days = q._num_days
+    for eid in range(10 * PackedCalendarEventQueue.GROWTH * start_days):
+        q.push(eid * 0.1, 1, eid, eid)
+    assert q._num_days > start_days  # grew with occupancy
+    prev = (-1.0, -1, -1)
+    while len(q):
+        time, priority, eid, _ = q.pop()
+        assert (time, priority, eid) > prev
+        prev = (time, priority, eid)
+    assert q._num_days == PackedCalendarEventQueue.MIN_DAYS  # shrank when drained
+
+
+def test_packed_extreme_magnitude_times_do_not_hang():
+    """Same ulp-scale year-roll regression as the tuple calendar."""
+    q = PackedCalendarEventQueue()
+    q.push(1e18, 1, 0, "huge")
+    q.push(1e18, 0, 1, "huge-urgent")
+    assert q.peek()[3] == "huge-urgent"
+    assert [q.pop()[3] for _ in range(2)] == ["huge-urgent", "huge"]
+
+    env = Environment(queue="packed")
+    fired = []
+
+    def proc(env):
+        yield env.timeout_at(1e18)
+        fired.append(env.now)
+
+    env.process(proc(env))
+    env.run()
+    assert fired == [1e18]
+
+
+def test_packed_infinite_times_are_ordered_last():
+    q = PackedCalendarEventQueue()
+    q.push(float("inf"), 1, 0, "inf-a")
+    q.push(float("inf"), 1, 1, "inf-b")
+    assert q.peek()[3] == "inf-a"
+    q.push(3.0, 1, 2, "finite")
+    q.push(float("inf"), 0, 3, "inf-urgent")
+    labels = [q.pop()[3] for _ in range(4)]
+    assert labels == ["finite", "inf-urgent", "inf-a", "inf-b"]
+    with pytest.raises(IndexError):
+        q.pop()
+
+
+def test_packed_rebuild_with_only_infinite_times():
+    n = 2 * PackedCalendarEventQueue.GROWTH * PackedCalendarEventQueue.MIN_DAYS
+    q = PackedCalendarEventQueue()
+    for eid in range(n):  # trigger growth rebuilds
+        q.push(float("inf"), 1, eid, eid)
+    q.push(1.5, 1, 999, "finite")
+    assert q.pop()[3] == "finite"
+    drained = [q.pop()[2] for _ in range(n)]
+    assert drained == sorted(drained)  # inf ties pop in eid order
+
+
+def test_packed_push_before_rebuilt_year_start():
+    q = PackedCalendarEventQueue()
+    n = PackedCalendarEventQueue.GROWTH * PackedCalendarEventQueue.MIN_DAYS + 16
+    for eid in range(n):  # force a growth rebuild anchored at t=100
+        q.push(100.0 + eid, 1, eid, eid)
+    assert q._year_start >= 99.0
+    q.push(5.0, 1, 999, "early")
+    assert q.pop()[3] == "early"
+
+
+def test_packed_push_into_sorted_day_invalidates_lazy_order():
+    """A day bucket is bulk-sorted the first time it is served; a later push
+    into that same day must force a re-sort, or the new entry would pop in
+    append order instead of time order."""
+    q = PackedCalendarEventQueue(day_width=100.0)  # everything in day 0
+    for eid, t in enumerate([4.0, 1.0, 3.0]):
+        q.push(t, 1, eid, eid)
+    assert q.pop()[0] == 1.0  # serving day 0 sorted it
+    q.push(2.0, 1, 10, "mid")  # lands in the already-sorted serving day
+    assert [q.pop()[0] for _ in range(3)] == [2.0, 3.0, 4.0]
+
+
+def test_packed_rejects_out_of_range_priority_and_eid():
+    q = PackedCalendarEventQueue()
+    for priority, eid in [(128, 0), (-1, 0), (1, 1 << 56), (1, -1)]:
+        with pytest.raises(ValueError):
+            q.push(1.0, priority, eid, None)
+    assert len(q) == 0
+
+
+def test_adaptive_queue_migrates_once_at_threshold():
+    q = AdaptiveEventQueue(threshold=32)
+    reference = []
+    for eid in range(64):
+        entry = (eid * 0.37 % 7.0, 1, eid, eid)
+        q.push(*entry)
+        heapq.heappush(reference, entry)
+    assert isinstance(q.backend, PackedCalendarEventQueue)  # migrated
+    popped = [q.pop() for _ in range(len(q))]
+    assert popped == [heapq.heappop(reference) for _ in range(len(reference))]
+
+
+def test_estimate_width_touches_only_the_head_sample():
+    """The resize estimator must be O(sample) regardless of queue size: it
+    reads the head off the leading buckets instead of flattening all N
+    entries (regression: _estimate_width re-sorted the full pending set)."""
+
+    class CountingList(list):
+        touched = 0
+
+        def __iter__(self):
+            for item in super().__iter__():
+                CountingList.touched += 1
+                yield item
+
+    for cls in (CalendarEventQueue, PackedCalendarEventQueue):
+        q = cls()
+        for eid in range(20_000):
+            q.push(eid * 0.01, 1, eid, eid)
+        q._buckets = [CountingList(bucket) for bucket in q._buckets]
+        CountingList.touched = 0
+        q._estimate_width(sample=64)
+        # The tuple calendar stops exactly at the sample; the packed variant
+        # may finish consuming the bucket the sample boundary lands in.
+        slack = max(len(bucket) for bucket in q._buckets)
+        assert CountingList.touched <= 64 + slack, cls.__name__
+
+
+def test_compiled_stepper_matches_pure_python():
+    """The cffi insert kernel (when buildable) must place overflow entries
+    exactly where the pure-Python bisect does."""
+    if not use_compiled_stepper(True):
+        pytest.skip("cffi or C toolchain unavailable")
+    try:
+        compiled = PackedCalendarEventQueue()
+        use_compiled_stepper(False)
+        pure = PackedCalendarEventQueue()
+        now = 0.0
+        for eid in range(400):
+            # Overflow-heavy: far-future pushes interleaved with near-term
+            # ones, including exact ties on the far-future time.
+            t = now + (1e6 if eid % 3 else 0.5) + (eid % 7) * 0.125
+            for q in (compiled, pure):
+                q.push(t, eid % 2, eid, eid)
+            if eid % 5 == 0:
+                a, b = compiled.pop(), pure.pop()
+                assert a == b
+                now = a[0]
+        while len(pure):
+            assert compiled.pop() == pure.pop()
+    finally:
+        use_compiled_stepper(False)
+
+
+# ---------------------------------------------------------------------------
 # hypothesis: identical pop sequences under identical schedules
 # ---------------------------------------------------------------------------
 
 @settings(max_examples=200, deadline=None)
 @given(st.data())
 def test_queues_pop_identical_sequences(data):
-    heap, calendar = HeapEventQueue(), CalendarEventQueue()
+    heap = HeapEventQueue()
+    others = [CalendarEventQueue(), PackedCalendarEventQueue()]
     now = 0.0
     eid = 0
     size = 0
@@ -168,8 +346,9 @@ def test_queues_pop_identical_sequences(data):
     for _ in range(n_ops):
         do_pop = size > 0 and data.draw(st.booleans(), label="pop?")
         if do_pop:
-            a, b = heap.pop(), calendar.pop()
-            assert a == b
+            a = heap.pop()
+            for q in others:
+                assert q.pop() == a
             now = a[0]  # the simulated clock only moves forward
             size -= 1
         else:
@@ -188,12 +367,16 @@ def test_queues_pop_identical_sequences(data):
             )
             priority = data.draw(st.sampled_from([0, 1]), label="priority")
             heap.push(now + dt, priority, eid, eid)
-            calendar.push(now + dt, priority, eid, eid)
+            for q in others:
+                q.push(now + dt, priority, eid, eid)
             eid += 1
             size += 1
     while len(heap):
-        assert heap.pop() == calendar.pop()
-    assert len(calendar) == 0
+        a = heap.pop()
+        for q in others:
+            assert q.pop() == a
+    for q in others:
+        assert len(q) == 0
 
 
 # ---------------------------------------------------------------------------
@@ -279,9 +462,9 @@ GOLDEN_PREFIX = [
 
 
 def test_golden_trace_identical_across_queues():
-    traces = {queue: _run_mixed_workload(queue) for queue in QUEUES}
-    assert traces["heap"] == traces["calendar"]
-    assert traces["heap"] == GOLDEN_PREFIX
+    traces = {queue: _run_mixed_workload(queue) for queue in (*QUEUES, "auto")}
+    for queue, trace in traces.items():
+        assert trace == GOLDEN_PREFIX, queue
 
 
 def test_engine_scenario_identical_across_queues():
@@ -321,5 +504,6 @@ def test_engine_scenario_identical_across_queues():
             for r in (ev.value for ev in events)
         ], sorted(engine.stats.snapshot().items())
 
-    heap_trace, calendar_trace = run("heap"), run("calendar")
-    assert heap_trace == calendar_trace
+    reference = run("heap")
+    for queue in QUEUES[1:]:
+        assert run(queue) == reference, queue
