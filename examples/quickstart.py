@@ -188,6 +188,56 @@ def main() -> None:
     print(f"\nKernel queue backends: {', '.join(QUEUE_KINDS)} "
           f"(a fresh 'auto' starts as {type(fresh_auto).__name__})")
 
+    # 13. Observing a request.  `DeploymentConfig(observability=...)` adds an
+    #    observability stage to the gateway pipeline: every request gets a
+    #    simulated-time distributed trace (gateway stages → relay transfer →
+    #    endpoint queue → engine admission/prefill/decode windows → stream
+    #    delivery) and the gateway grows Prometheus-style RED metrics backed
+    #    by mergeable histograms.  Tracing is observe-only — simulated
+    #    results are bit-identical with it on or off (BENCH_obs.json gates
+    #    the wall-clock overhead too).  Head sampling plus an always-kept
+    #    top-K-slowest reservoir bound retention; `profile_kernel=True` also
+    #    attaches an event-loop profiler to the DES kernel.
+    from repro.core import ObservabilityConfig, quickstart_config
+    from repro.obs import span_tree
+
+    traced_config = quickstart_config(generate_text=False)
+    traced_config.observability = ObservabilityConfig(profile_kernel=True)
+    traced = FIRSTDeployment(traced_config)
+    traced_client = traced.client("researcher@anl.gov")
+    for _ in traced_client.chat_completion(
+        CHAT_MODEL, [{"role": "user", "content": "trace me"}],
+        max_tokens=12, stream=True,
+    ):
+        pass
+
+    trace_id = traced.observability.tracer.trace_ids()[0]
+    trace = traced_client.get_trace(trace_id)          # GET /v1/traces/{id}
+    print(f"\nTrace {trace_id} ({trace['duration_s']:.2f}s simulated, "
+          f"{len(trace['spans'])} spans):")
+
+    def show(node, depth=1):
+        print(f"  {'  ' * depth}{node['name']:<28s} [{node['layer']}] "
+              f"{node['duration_s']:.3f}s")
+        for child in node["children"][:3]:
+            show(child, depth + 1)
+        if len(node["children"]) > 3:
+            print(f"  {'  ' * (depth + 1)}... {len(node['children']) - 3} more")
+
+    for root in span_tree(trace["spans"]):
+        show(root)
+    #    `traced_client.get_trace_perfetto(trace_id)` returns the same trace
+    #    as Chrome trace-event JSON — json.dump it and load it in Perfetto
+    #    (ui.perfetto.dev) to see the request on a simulated-time timeline.
+
+    metrics = traced_client.metrics_text()             # GET /v1/metrics
+    print("\nPrometheus metrics (first lines):")
+    for line in metrics.splitlines()[:4]:
+        print("  " + line)
+    kernel = traced.observability.kernel_profiler.snapshot()
+    print(f"kernel profile: {kernel['events_total']} events, "
+          f"{kernel['events_per_wall_s']:.0f} events/wall-s")
+
 
 if __name__ == "__main__":
     main()

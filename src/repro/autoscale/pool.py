@@ -21,6 +21,7 @@ from __future__ import annotations
 
 from typing import List, Optional
 
+from ..common import sim_logger
 from ..sim import Environment
 from .metrics import MetricsFeed, MetricsSample
 from .policy import ScalingPolicy
@@ -50,6 +51,7 @@ class ReplicaPool:
         self.actions: List[dict] = []
         self.launches = 0
         self.drains = 0
+        self._log = sim_logger("repro.autoscale.pool", env)
 
     @property
     def model(self) -> str:
@@ -92,6 +94,9 @@ class ReplicaPool:
             # observed total can exceed the ceiling without any real excess.
             for _ in range(current - clamped):
                 if not self.backend.start_drain_one():
+                    self._log.warning("scale-down stopped short: no drainable instance",
+                                      model=self.model, requested=current - clamped,
+                                      drained=drained, reason=reason)
                     break
                 drained += 1
         if launched == 0 and drained == 0:

@@ -11,6 +11,7 @@ from .errors import (
     ValidationError,
 )
 from .ids import IdGenerator, short_uuid
+from .logging import SimLogAdapter, sim_logger
 from .randomness import RandomSource, stable_seed
 
 __all__ = [
@@ -26,4 +27,6 @@ __all__ = [
     "short_uuid",
     "RandomSource",
     "stable_seed",
+    "SimLogAdapter",
+    "sim_logger",
 ]

@@ -1,0 +1,61 @@
+"""Structured logging stamped with *simulated* time.
+
+Wall-clock timestamps are meaningless inside a discrete-event simulation —
+a warning logged "now" happened at ``env.now`` simulated seconds, and two
+runs of the same scenario should log identical streams.  :func:`sim_logger`
+returns a :class:`SimLogAdapter` bound to an environment: every record gets
+a ``sim_time`` attribute plus a ``[t=123.456s]`` prefix, and structured
+key/value context passes through ``extra``-style keyword arguments::
+
+    log = sim_logger("repro.faas.relay", env)
+    log.warning("task failed", task_id=record.task_id, error=err)
+    # repro.faas.relay [t=42.000s] task failed (task_id=task-3 error=...)
+
+The ``repro`` root logger carries a :class:`logging.NullHandler`, so
+nothing prints unless the embedding application configures handlers —
+simulations and tests stay silent by default (pytest's ``caplog`` still
+captures the records).
+"""
+
+from __future__ import annotations
+
+import logging
+from typing import Any
+
+__all__ = ["sim_logger", "SimLogAdapter"]
+
+logging.getLogger("repro").addHandler(logging.NullHandler())
+
+
+class SimLogAdapter(logging.LoggerAdapter):
+    """Logger adapter stamping every record with the environment's now."""
+
+    def __init__(self, logger: logging.Logger, env):
+        super().__init__(logger, {})
+        self.env = env
+
+    def process(self, msg: str, kwargs: dict):
+        # Split structured context from stdlib logging kwargs.
+        passthrough = {}
+        fields = {}
+        for key, value in kwargs.items():
+            if key in ("exc_info", "stack_info", "stacklevel", "extra"):
+                passthrough[key] = value
+            else:
+                fields[key] = value
+        now = self.env.now
+        extra: dict[str, Any] = dict(passthrough.pop("extra", {}) or {})
+        extra["sim_time"] = now
+        extra["sim_fields"] = fields
+        passthrough["extra"] = extra
+        if fields:
+            context = " ".join(f"{k}={v}" for k, v in fields.items())
+            msg = f"[t={now:.3f}s] {msg} ({context})"
+        else:
+            msg = f"[t={now:.3f}s] {msg}"
+        return msg, passthrough
+
+
+def sim_logger(name: str, env) -> SimLogAdapter:
+    """A ``logging`` adapter for ``name`` stamping records with ``env.now``."""
+    return SimLogAdapter(logging.getLogger(name), env)

@@ -8,6 +8,7 @@ from .deployment import (
     DeploymentConfig,
     FIRSTDeployment,
     ModelDeploymentSpec,
+    ObservabilityConfig,
     federated_config,
     quickstart_config,
     sophia_benchmark_config,
@@ -19,6 +20,7 @@ __all__ = [
     "ClusterDeploymentSpec",
     "ModelDeploymentSpec",
     "AutoscaleConfig",
+    "ObservabilityConfig",
     "FIRSTClient",
     "calibration",
     "quickstart_config",

@@ -19,7 +19,7 @@ federation).
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass, field, replace
 from typing import Dict, List, Optional
 
 from ..autoscale import AutoscaleConfig
@@ -46,6 +46,7 @@ from ..faas import (
 )
 from ..federation import FederationRegistry, FederationRouter, PriorityRouter
 from ..gateway import GatewayConfig, GatewayDatabase, InferenceGatewayAPI
+from ..obs.middleware import ObservabilityConfig, observability_middleware_factories
 from ..placement import TopologyView
 from ..serving import ModelCatalog, default_catalog
 from ..sim import Environment
@@ -54,6 +55,7 @@ from .client import FIRSTClient
 
 __all__ = [
     "AutoscaleConfig",
+    "ObservabilityConfig",
     "ModelDeploymentSpec",
     "ClusterDeploymentSpec",
     "DeploymentConfig",
@@ -125,6 +127,11 @@ class DeploymentConfig:
     #: :mod:`repro.sim.queues`).  Simulation results are bit-identical across
     #: backends; only wall-clock differs.
     kernel_queue: str = "heap"
+    #: Distributed tracing + metrics registry (see :mod:`repro.obs`).  When
+    #: set and ``gateway.middleware_factories`` is None, the gateway pipeline
+    #: gains an observability stage; tracing is observe-only, so simulation
+    #: results are bit-identical with or without it.
+    observability: Optional["ObservabilityConfig"] = None
 
 
 def quickstart_config(generate_text: bool = True) -> DeploymentConfig:
@@ -334,6 +341,16 @@ class FIRSTDeployment:
             config=calibration.default_compute_client_config(),
         )
         self.database = GatewayDatabase()
+        gateway_config = self.config.gateway
+        if (self.config.observability is not None
+                and gateway_config.middleware_factories is None):
+            # Prepend the observability stage to the stock chain; an explicit
+            # middleware_factories list wins (callers compose their own).
+            gateway_config = replace(
+                gateway_config,
+                middleware_factories=observability_middleware_factories(
+                    self.config.observability),
+            )
         self.gateway = InferenceGatewayAPI(
             self.env,
             self.auth,
@@ -341,7 +358,7 @@ class FIRSTDeployment:
             self.router,
             self.catalog,
             function_ids=self.function_ids,
-            config=self.config.gateway,
+            config=gateway_config,
             database=self.database,
             ids=self.ids,
             topology=self.topology,
@@ -403,6 +420,11 @@ class FIRSTDeployment:
     @property
     def now(self) -> float:
         return self.env.now
+
+    @property
+    def observability(self):
+        """The gateway's :class:`~repro.obs.ObservabilityLayer` (or ``None``)."""
+        return self.gateway.observability
 
     # ------------------------------------------------------------------ ready-made deployments
     @classmethod

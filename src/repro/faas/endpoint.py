@@ -31,7 +31,8 @@ from ..autoscale import (
     make_policy,
 )
 from ..cluster import JobRequest, JobState, SchedulerBase
-from ..common import ConfigurationError, IdGenerator, NotFoundError
+from ..common import ConfigurationError, IdGenerator, NotFoundError, sim_logger
+from ..obs.trace import TRACE_KEY
 from ..serving import (
     APIServerConfig,
     EmbeddingServingInstance,
@@ -173,6 +174,7 @@ class _ModelPool:
         self.completions_total = 0
         self._cold_start_observed: Optional[float] = None
         self._ready_signal: Event = self.env.event()
+        self._log = sim_logger("repro.faas.endpoint", self.env)
         #: Placement-plane observers notified (with the pool) whenever the
         #: pool's observable state changes; see ``TopologyView``.
         self._observers: List = []
@@ -373,6 +375,8 @@ class _ModelPool:
             self.launching -= 1
             self.queued_job_launches -= 1
             self._touch()
+            self._log.warning("instance launch failed: scheduler job never started",
+                              model=self.spec.name, error=str(exc))
             if not done.triggered:
                 done.fail(exc)
                 done.defuse()
@@ -389,6 +393,9 @@ class _ModelPool:
             self.instances.remove(instance)
             self.endpoint.scheduler.release(handle.job.job_id)
             self._touch()
+            self._log.warning("instance launch failed: server never became ready",
+                              model=self.spec.name,
+                              instance=instance.instance_id, error=str(exc))
             if not done.triggered:
                 done.fail(exc)
                 done.defuse()
@@ -491,6 +498,10 @@ class _ModelPool:
                     # The autoscaler was retiring it anyway; don't relaunch.
                     continue
                 self.restarts += 1
+                self._log.warning("restarting failed instance",
+                                  model=self.spec.name,
+                                  instance=instance.instance_id,
+                                  restarts=self.restarts)
                 # Process-management scripts restart failed servers (§3.2.2).
                 self._launch()
 
@@ -548,6 +559,7 @@ class ComputeEndpoint:
         self.pools: Dict[str, _ModelPool] = {
             hosting.model: _ModelPool(self, hosting) for hosting in config.models
         }
+        self._log = sim_logger("repro.faas.endpoint", env)
         # counters
         self.tasks_executed = 0
         self.tasks_failed = 0
@@ -650,10 +662,27 @@ class ComputeEndpoint:
         self.env.process(self._execute(record, function, outcome))
         return outcome
 
+    @staticmethod
+    def _trace_of(record: TaskRecord):
+        """TraceContext riding the task's request metadata, if tracing is on."""
+        metadata = getattr(record.payload.get("request"), "metadata", None)
+        return metadata.get(TRACE_KEY) if metadata else None
+
     def _execute(self, record: TaskRecord, function: RegisteredFunction, outcome: Event):
         from .task import TaskStatus
 
         cfg = self.config
+        trace = self._trace_of(record)
+        # `current` is still the gateway's suspended dispatch span while the
+        # task executes; anchor the endpoint subtree under it.
+        anchor = trace.current if trace is not None else None
+        span = None
+        if trace is not None:
+            span = trace.start_span("endpoint.execute", parent=anchor,
+                                    layer="endpoint",
+                                    attrs={"endpoint": self.endpoint_id,
+                                           "task_id": record.task_id,
+                                           "handler": function.handler})
         # Task pickup on the endpoint's polling loop.
         if cfg.poll_interval_s > 0:
             yield self.env.timeout(cfg.poll_interval_s)
@@ -662,6 +691,11 @@ class ComputeEndpoint:
             cfg.required_client_id,
         ):
             self.tasks_rejected += 1
+            self._log.warning("task rejected: untrusted client",
+                              task_id=record.task_id, endpoint=self.endpoint_id)
+            if span is not None:
+                span.status = "error:rejected"
+                trace.end_span(span)
             outcome.succeed({"success": False,
                              "error": "task not submitted by the trusted confidential client"})
             return
@@ -670,18 +704,26 @@ class ComputeEndpoint:
         record.start_time = self.env.now
         try:
             if function.handler == HANDLER_CHAT:
-                result = yield from self._run_chat(record)
+                result = yield from self._run_chat(record, trace=trace, span=span)
             elif function.handler == HANDLER_EMBEDDING:
-                result = yield from self._run_embedding(record)
+                result = yield from self._run_embedding(record, trace=trace, span=span)
             elif function.handler == HANDLER_BATCH:
                 result = yield from self._run_batch(record)
             else:
                 raise ConfigurationError(f"Unknown handler {function.handler!r}")
         except Exception as exc:  # noqa: BLE001 - report execution failures upstream
             self.tasks_failed += 1
+            self._log.warning("task execution failed", task_id=record.task_id,
+                              endpoint=self.endpoint_id,
+                              error=f"{type(exc).__name__}: {exc}")
+            if span is not None:
+                span.status = f"error:{type(exc).__name__}"
+                trace.end_span(span)
             outcome.succeed({"success": False, "error": f"{type(exc).__name__}: {exc}"})
             return
         self.tasks_executed += 1
+        if span is not None:
+            trace.end_span(span)
         outcome.succeed({"success": True, "result": result})
 
     def _request_from_payload(self, record: TaskRecord) -> InferenceRequest:
@@ -690,22 +732,30 @@ class ComputeEndpoint:
             raise ConfigurationError("Task payload does not contain an InferenceRequest")
         return request
 
-    def _run_chat(self, record: TaskRecord):
+    def _run_chat(self, record: TaskRecord, trace=None, span=None):
         request = self._request_from_payload(record)
         channel = record.payload.get(STREAM_CHANNEL_KEY)
         if channel is not None and request.stream:
             request.metadata[STREAM_CHANNEL_KEY] = channel
         pool = self._pool(request.model)
+        wait_span = None
+        if trace is not None:
+            wait_span = trace.start_span("endpoint.queue_wait", parent=span,
+                                         layer="endpoint",
+                                         attrs={"model": request.model})
         instance, slot = yield from pool.acquire()
+        if wait_span is not None:
+            wait_span.attrs["instance"] = instance.instance_id
+            trace.end_span(wait_span)
         try:
             result = yield instance.submit(request)
         finally:
             pool.release(instance, slot)
         return result
 
-    def _run_embedding(self, record: TaskRecord):
+    def _run_embedding(self, record: TaskRecord, trace=None, span=None):
         # Embedding requests follow the same pool mechanics.
-        return (yield from self._run_chat(record))
+        return (yield from self._run_chat(record, trace=trace, span=span))
 
     def _run_batch(self, record: TaskRecord):
         """Run a batch job: a dedicated scheduler job + offline engine (§4.4)."""

@@ -29,7 +29,8 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Any, Dict, List, Optional, Sequence, Union
 
-from ..common import AuthorizationError, IdGenerator, NotFoundError
+from ..common import AuthorizationError, IdGenerator, NotFoundError, sim_logger
+from ..obs.trace import TRACE_KEY
 from ..sim import Environment, Resource
 from .functions import FunctionRegistry
 from .task import TaskFuture, TaskRecord, TaskStatus
@@ -92,6 +93,7 @@ class RelayService:
         self._open_dispatches: Dict[str, int] = {}
         #: Confidential client ids allowed to submit (None = open, used in tests).
         self.authorized_client_ids = set(authorized_client_ids or [])
+        self._log = sim_logger("repro.faas.relay", env)
 
     # -- registration -----------------------------------------------------------
     def register_endpoint(self, endpoint) -> None:
@@ -170,6 +172,12 @@ class RelayService:
         model = getattr(request, "model", None)
         return model if model is not None else payload.get("model")
 
+    @staticmethod
+    def _payload_trace(payload: Dict[str, Any]):
+        """TraceContext riding the payload's request, when tracing is on."""
+        metadata = getattr(payload.get("request"), "metadata", None)
+        return metadata.get(TRACE_KEY) if metadata else None
+
     def submit(
         self,
         function_id: str,
@@ -185,6 +193,8 @@ class RelayService:
         """
         if self.authorized_client_ids and client_id not in self.authorized_client_ids:
             self.stats.rejected += 1
+            self._log.warning("relay rejected submission: unauthorised client",
+                              client_id=client_id, submitter=submitter)
             raise AuthorizationError(
                 "Caller is not an authorised confidential client of the relay"
             )
@@ -192,6 +202,9 @@ class RelayService:
         endpoint = self.select_endpoint(endpoint_id, model=self._payload_model(payload))
         if self.queued_tasks >= self.config.max_queued_tasks:
             self.stats.rejected += 1
+            self._log.warning("relay rejected submission: task queue full",
+                              queued=self.queued_tasks,
+                              limit=self.config.max_queued_tasks)
             raise RuntimeError("Relay task queue is full")
 
         record = TaskRecord(
@@ -209,17 +222,32 @@ class RelayService:
         self.stats.peak_queued = max(self.stats.peak_queued, self.queued_tasks)
         eid = endpoint.endpoint_id
         self._open_dispatches[eid] = self._open_dispatches.get(eid, 0) + 1
-        self.env.process(self._process_task(record, future, function, endpoint))
+        # Anchor the relay's spans under the caller's active span (the
+        # gateway's dispatch stage) — captured here, synchronously, while
+        # the caller is still the running process.
+        trace = self._payload_trace(payload)
+        anchor = trace.current if trace is not None else None
+        self.env.process(self._process_task(record, future, function, endpoint,
+                                            trace=trace, anchor=anchor))
         return future
 
-    def _process_task(self, record: TaskRecord, future: TaskFuture, function, endpoint):
+    def _process_task(self, record: TaskRecord, future: TaskFuture, function,
+                      endpoint, trace=None, anchor=None):
         cfg = self.config
+        span = None
+        if trace is not None:
+            span = trace.start_span("relay.transfer", parent=anchor,
+                                    layer="relay",
+                                    attrs={"task_id": record.task_id,
+                                           "endpoint": record.endpoint_id})
         yield self.env.timeout(cfg.submit_latency_s)
         yield self.env.timeout(cfg.dispatch_latency_s)
         record.status = TaskStatus.DISPATCHED
         record.dispatch_time = self.env.now
 
         outcome_event = endpoint.enqueue(record, function)
+        if span is not None:
+            trace.end_span(span)
         # From here the endpoint's own backlog accounting covers the task.
         open_count = self._open_dispatches.get(record.endpoint_id, 0)
         if open_count <= 1:
@@ -229,6 +257,11 @@ class RelayService:
         outcome = yield outcome_event
 
         # Result forwarding through the shared routing channel.
+        result_span = None
+        if trace is not None:
+            result_span = trace.start_span("relay.result", parent=anchor,
+                                           layer="relay",
+                                           attrs={"task_id": record.task_id})
         with self._result_channel.request() as req:
             yield req
             yield self.env.timeout(self.result_service_time_s())
@@ -239,11 +272,21 @@ class RelayService:
             record.status = TaskStatus.COMPLETED
             record.result = outcome.get("result")
             self.stats.completed += 1
+            if result_span is not None:
+                result_span.attrs["success"] = True
+                trace.end_span(result_span)
             future.resolve(record.result)
         else:
             record.status = TaskStatus.FAILED
             record.error = outcome.get("error", "unknown error")
             self.stats.failed += 1
+            self._log.warning("task failed at endpoint",
+                              task_id=record.task_id,
+                              endpoint=record.endpoint_id, error=record.error)
+            if result_span is not None:
+                result_span.attrs["success"] = False
+                result_span.status = "error"
+                trace.end_span(result_span)
             future.reject(record.error)
 
     # -- status / results (the polling path of Optimization 1) -------------------------

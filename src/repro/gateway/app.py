@@ -112,6 +112,10 @@ class InferenceGatewayAPI:
         self.workers = Resource(env, capacity=self.config.worker_slots())
         self._routing_cache: Dict[tuple, _RoutingCacheEntry] = {}
 
+        #: Set by :class:`repro.obs.ObservabilityMiddlewareFactory` when the
+        #: observability stage is part of the pipeline (must exist before the
+        #: factories run, since the factory assigns it during construction).
+        self.observability = None
         factories = self.config.middleware_factories or default_middleware_factories()
         self.pipeline = GatewayPipeline([factory(self) for factory in factories])
         #: Context of the most recently finished pipeline run (observability).
@@ -474,4 +478,22 @@ class InferenceGatewayAPI:
                 "hits": self.response_cache.hits,
                 "misses": self.response_cache.misses,
             }
+        if self.observability is not None:
+            extra["observability"] = self.observability.summary()
         return self.metrics.dashboard(extra=extra)
+
+    def metrics_text(self) -> str:
+        """``GET /v1/metrics`` — Prometheus text exposition of the gateway's
+        metric registry (requires the observability middleware)."""
+        if self.observability is None:
+            raise NotFoundError("Observability is not enabled on this gateway")
+        return self.observability.metrics_text()
+
+    def get_trace(self, trace_id: str) -> dict:
+        """``GET /v1/traces/{id}`` — one retained distributed trace."""
+        if self.observability is None:
+            raise NotFoundError("Observability is not enabled on this gateway")
+        trace = self.observability.trace(trace_id)
+        if trace is None:
+            raise NotFoundError(f"Unknown or unretained trace id: {trace_id}")
+        return trace

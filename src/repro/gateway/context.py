@@ -108,6 +108,9 @@ class RequestContext:
     # -- observability ---------------------------------------------------------
     #: Names of the middleware stages entered, in order.
     trace: List[str] = field(default_factory=list)
+    #: Span-recording :class:`~repro.obs.trace.TraceContext`, when the
+    #: deployment runs with the observability stage (None otherwise).
+    trace_context: Any = None
     #: Free-form scratch space for custom middlewares.
     metadata: Dict[str, Any] = field(default_factory=dict)
 

@@ -91,7 +91,26 @@ class GatewayPipeline:
         def call_next(c: RequestContext):
             return self._call(index + 1, c)
 
-        yield from middleware.process(ctx, call_next)
+        tctx = ctx.trace_context
+        if tctx is None:
+            yield from middleware.process(ctx, call_next)
+            return
+        # Span per stage.  Stages nest (each runs the rest of the chain from
+        # inside its own process), so the previous stage's span is this one's
+        # parent; `current` is restored on unwind so post-order code (cache
+        # fill, accounting) is attributed to its own stage.
+        prev = tctx.current
+        span = tctx.start_span(f"gateway.stage.{middleware.name}",
+                               parent=prev, layer="gateway")
+        tctx.current = span
+        try:
+            yield from middleware.process(ctx, call_next)
+        except Exception as exc:
+            span.status = f"error:{type(exc).__name__}"
+            raise
+        finally:
+            tctx.end_span(span)
+            tctx.current = prev
 
     def stage_names(self) -> List[str]:
         return [m.name for m in self.middlewares]
@@ -248,6 +267,12 @@ class RoutingMiddleware(Middleware):
         ctx.endpoint = endpoint
         if ctx.log_entry is not None:
             ctx.log_entry.endpoint = endpoint.endpoint_id
+        tctx = ctx.trace_context
+        if tctx is not None and tctx.current is not None:
+            tctx.current.attrs.update(
+                endpoint=endpoint.endpoint_id,
+                policy=type(api.router).__name__,
+            )
         yield from call_next(ctx)
 
 
@@ -326,18 +351,29 @@ class DispatchMiddleware(Middleware):
 
     def _forward_stream(self, ctx: RequestContext, ingress: StreamChannel):
         """Consume engine events, timestamp them and relay to the caller."""
+        tctx = ctx.trace_context
+        anchor = tctx.current if tctx is not None else None
+        span = None
+        tokens = 0
         while True:
             event = yield ingress.get()
             if event is None:
-                return
+                break
             if event.kind == "token":
                 ctx.gateway_token_times.append(self.api.env.now)
+                if tctx is not None and span is None:
+                    span = tctx.start_span("gateway.stream_delivery",
+                                           parent=anchor, layer="gateway")
+                tokens += 1
                 if ctx.egress is not None:
                     ctx.egress.deliver(event)
             elif event.kind == "done":
                 # The terminal chunk for the caller is emitted by the gateway
                 # once the authoritative result arrives via the future path.
-                return
+                break
+        if span is not None:
+            span.attrs["tokens"] = tokens
+            tctx.end_span(span)
 
 
 def default_middleware_factories() -> List[MiddlewareFactory]:

@@ -1,0 +1,52 @@
+"""Observability substrate: tracing, metrics registry, kernel profiling.
+
+Eagerly exports only the gateway-independent pieces (trace, registry,
+kernel profiler, exporter) — :mod:`repro.serving.engine` imports
+:data:`TRACE_KEY` from here, so pulling :mod:`repro.obs.middleware` (which
+imports the gateway, which imports serving) at package import time would
+create a cycle.  The middleware wiring is reachable lazily as
+``repro.obs.middleware`` / via ``__getattr__``.
+"""
+
+from .export import dump_chrome_trace, to_chrome_trace
+from .kernel import KernelProfiler
+from .registry import Counter, Gauge, Histogram, MetricsRegistry
+from .trace import TRACE_KEY, Span, TraceContext, Tracer, TracerConfig, span_tree
+
+__all__ = [
+    "TRACE_KEY",
+    "Span",
+    "TraceContext",
+    "Tracer",
+    "TracerConfig",
+    "span_tree",
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "MetricsRegistry",
+    "KernelProfiler",
+    "to_chrome_trace",
+    "dump_chrome_trace",
+    # lazy (see __getattr__): gateway-facing wiring
+    "ObservabilityConfig",
+    "ObservabilityLayer",
+    "ObservabilityMiddleware",
+    "ObservabilityMiddlewareFactory",
+    "observability_middleware_factories",
+]
+
+_MIDDLEWARE_EXPORTS = {
+    "ObservabilityConfig",
+    "ObservabilityLayer",
+    "ObservabilityMiddleware",
+    "ObservabilityMiddlewareFactory",
+    "observability_middleware_factories",
+}
+
+
+def __getattr__(name):
+    if name in _MIDDLEWARE_EXPORTS:
+        from . import middleware
+
+        return getattr(middleware, name)
+    raise AttributeError(f"module {__name__!r} has no attribute {name!r}")

@@ -80,6 +80,7 @@ try:  # Vector window math is optional: the scalar path is bit-identical.
 except ImportError:  # pragma: no cover - exercised by the no-numpy CI job
     _np = None
 
+from ..obs.trace import TRACE_KEY
 from ..sim import Environment, Event, Interrupt
 from .kvcache import KVCacheConfig, KVCacheManager
 from .request import InferenceRequest, InferenceResult, RequestKind
@@ -154,6 +155,8 @@ class _Sequence:
         "stream_channel",
         "streamed",
         "stream_words",
+        "trace",
+        "trace_spans",
     )
 
     def __init__(self, request: InferenceRequest, event: Event, enqueue_time: float):
@@ -168,6 +171,10 @@ class _Sequence:
         self.stream_channel = (
             request.metadata.get(STREAM_CHANNEL_KEY) if request.stream else None
         )
+        #: Observability: TraceContext riding the request metadata (or None),
+        #: and this sequence's open engine-layer spans keyed by phase.
+        self.trace = request.metadata.get(TRACE_KEY)
+        self.trace_spans = None
         #: High-water mark of tokens already streamed, so a preempted sequence
         #: that recomputes from scratch does not re-emit chunks the consumer
         #: has already seen.
@@ -250,6 +257,18 @@ class ContinuousBatchingEngine:
             raise RuntimeError("Engine has been stopped")
         event = self.env.event()
         seq = _Sequence(request, event, self.env.now)
+        trace = seq.trace
+        if trace is not None:
+            # `current` is the caller's active span (the gateway's dispatch
+            # stage, still suspended) — the whole engine subtree hangs off it.
+            root = trace.start_span("engine.request", parent=trace.current,
+                                    layer="engine",
+                                    attrs={"instance": self.instance_id})
+            seq.trace_spans = {
+                "request": root,
+                "queue": trace.start_span("engine.queue_wait", parent=root,
+                                          layer="engine"),
+            }
         self.waiting.append(seq)
         self.stats.submitted += 1
         self.stats.prompt_tokens += request.prompt_tokens
@@ -375,7 +394,7 @@ class ContinuousBatchingEngine:
             if iters <= 1:
                 yield env.timeout(step)
                 self.stats.busy_time_s += step
-                self._advance()
+                self._advance(step)
                 continue
 
             # Macro-step: one kernel event covers ``iters`` iterations.  The
@@ -410,7 +429,7 @@ class ContinuousBatchingEngine:
                     if window.done < len(window.boundaries):
                         yield env.timeout_at(window.boundaries[window.done])
                         self.stats.busy_time_s += window.step
-                        self._advance()
+                        self._advance(window.step)
                 continue
             if self._window is None:
                 continue  # stop() drained the window while we slept
@@ -442,6 +461,8 @@ class ContinuousBatchingEngine:
             waiting.popleft()
             seq.admit_time = self.env.now
             seq.prefilled = True
+            if seq.trace is not None:
+                self._trace_admit(seq)
             prefill_tokens += seq.request.prompt_tokens
             running.append(seq)
         return prefill_tokens, kv_blocked
@@ -569,10 +590,17 @@ class ContinuousBatchingEngine:
             for seq in running:
                 if seq.first_token_time is None:
                     seq.first_token_time = first_boundary
+                    self._trace_end(seq, "prefill", t=first_boundary)
+        profiler = self.env.profiler
+        if profiler is not None:
+            profiler.on_window(n, step * n)
         growth = []
         for seq in running:
             before = seq.generated
             seq.generated += n
+            if seq.trace is not None:
+                self._trace_decode(seq, window.boundaries[done] - step,
+                                   window.boundaries[upto - 1], n)
             if seq.stream_channel is not None and seq.generated > seq.streamed:
                 self._publish_window_tokens(seq, before, window, done)
             if seq.generated < seq.target_tokens:
@@ -612,8 +640,38 @@ class ContinuousBatchingEngine:
             seq.stream_channel.close()
         seq.event.succeed(self._make_result(seq, success=True))
 
+    # -- observability (observe-only: no sim-time spends, no RNG draws) -----------
+    def _trace_admit(self, seq: _Sequence) -> None:
+        """Close the queue-wait span and open the prefill span."""
+        trace = seq.trace
+        spans = seq.trace_spans
+        self._trace_end(seq, "queue")
+        root = spans.get("request")
+        if root is not None:
+            trace.event(root, "engine.admitted")
+        spans["prefill"] = trace.start_span("engine.prefill", parent=root,
+                                            layer="engine")
+
+    def _trace_end(self, seq: _Sequence, key: str, t: Optional[float] = None) -> None:
+        """End one of the sequence's open phase spans, if recording."""
+        if seq.trace is None or seq.trace_spans is None:
+            return
+        span = seq.trace_spans.pop(key, None)
+        if span is not None:
+            seq.trace.end_span(span, t=t)
+
+    def _trace_decode(self, seq: _Sequence, start: float, end: float,
+                      iterations: int) -> None:
+        """Record one (macro or per-token) decode window as a complete span."""
+        trace = seq.trace
+        span = trace.start_span("engine.decode_window",
+                                parent=seq.trace_spans.get("request"),
+                                layer="engine",
+                                attrs={"iterations": iterations}, t=start)
+        trace.end_span(span, t=end)
+
     # -- per-token stepping -------------------------------------------------------
-    def _advance(self) -> None:
+    def _advance(self, step: float = 0.0) -> None:
         """One token generated for every running sequence."""
         now = self.env.now
         running = self.running
@@ -632,7 +690,12 @@ class ContinuousBatchingEngine:
             seq.generated += 1
             stats.output_tokens += 1
             if seq.first_token_time is None:
+                # The first token is the prefill's output, not a decode
+                # window: close the prefill span and emit no window for it.
                 seq.first_token_time = now
+                self._trace_end(seq, "prefill", t=now)
+            elif seq.trace is not None:
+                self._trace_decode(seq, now - step, now, 1)
             if seq.stream_channel is not None and seq.generated > seq.streamed:
                 self._publish_token(seq, now)
             if seq.generated >= seq.target_tokens:
@@ -709,9 +772,32 @@ class ContinuousBatchingEngine:
         victim.generated = 0
         victim.prefilled = False
         victim.admit_time = None
+        if victim.trace is not None:
+            trace = victim.trace
+            self._trace_end(victim, "prefill")
+            root = victim.trace_spans.get("request")
+            if root is not None:
+                trace.event(root, "engine.preempted")
+            victim.trace_spans["queue"] = trace.start_span(
+                "engine.queue_wait", parent=root, layer="engine")
         self.waiting.appendleft(victim)
 
+    def _close_seq_spans(self, seq: _Sequence, error: Optional[str] = None) -> None:
+        """End every still-open engine span for a terminating sequence."""
+        trace = seq.trace
+        if trace is None or seq.trace_spans is None:
+            return
+        self._trace_end(seq, "queue")
+        self._trace_end(seq, "prefill")
+        root = seq.trace_spans.pop("request", None)
+        if root is not None:
+            if error is not None:
+                root.status = f"error:{error}"
+            root.attrs["output_tokens"] = seq.generated
+            trace.end_span(root)
+
     def _make_result(self, seq: _Sequence, success: bool, error: Optional[str] = None) -> InferenceResult:
+        self._close_seq_spans(seq, error=None if success else error)
         request = seq.request
         text = ""
         if success and self.config.generate_text and request.kind != RequestKind.EMBEDDING:
@@ -719,6 +805,8 @@ class ContinuousBatchingEngine:
         metadata = dict(request.metadata)
         # The stream channel is transport plumbing, not response metadata.
         metadata.pop(STREAM_CHANNEL_KEY, None)
+        # So is the trace context (it is not picklable response payload).
+        metadata.pop(TRACE_KEY, None)
         return InferenceResult(
             request_id=request.request_id,
             model=request.model,

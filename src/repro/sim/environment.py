@@ -67,6 +67,10 @@ class Environment:
         self._push = self._pending.push
         self._pop = self._pending.pop
         self._pop2 = self._pending.pop2
+        #: Optional :class:`repro.obs.KernelProfiler`.  ``None`` (the default)
+        #: keeps the kernel entirely unobserved: ``step`` stays the plain
+        #: class method and hot paths only ever pay an ``is None`` check.
+        self.profiler = None
 
     # -- properties ------------------------------------------------------
     @property
@@ -163,6 +167,52 @@ class Environment:
 
         if not event._ok and not event._defused:
             # An unhandled failed event aborts the simulation.
+            raise event._value
+
+    # -- profiling -------------------------------------------------------
+    def attach_profiler(self, profiler) -> None:
+        """Attach a kernel profiler (e.g. :class:`repro.obs.KernelProfiler`).
+
+        Profiling swaps in an instrumented ``step`` as an *instance*
+        attribute, shadowing the class method; with no profiler attached the
+        kernel therefore runs the unmodified hot path at zero overhead.
+        """
+        self.profiler = profiler
+        self.__dict__["step"] = self._profiled_step
+        attach = getattr(profiler, "attach", None)
+        if attach is not None:
+            attach(self)
+
+    def detach_profiler(self) -> None:
+        """Remove the attached profiler and restore the plain ``step``."""
+        profiler, self.profiler = self.profiler, None
+        self.__dict__.pop("step", None)
+        detach = getattr(profiler, "detach", None)
+        if detach is not None:
+            detach(self)
+
+    def _profiled_step(self) -> None:
+        # Keep in sync with :meth:`step` — this is a copy of its body plus
+        # the profiler hook, so the unprofiled path pays nothing.
+        profiler = self.profiler
+        if self._urgent:
+            event = self._urgent.popleft()
+        else:
+            try:
+                self._now, event = self._pop2()
+            except IndexError:
+                raise EmptySchedule() from None
+
+        if profiler is not None:
+            profiler.on_event(self._now, event, len(self._pending) + len(self._urgent))
+
+        callbacks, event.callbacks = event.callbacks, None
+        if callbacks is None:
+            return
+        for callback in callbacks:
+            callback(event)
+
+        if not event._ok and not event._defused:
             raise event._value
 
     def run(self, until: Any = None) -> Any:
