@@ -12,7 +12,7 @@ existing deployments are bit-identical.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import List, Optional, Tuple
+from typing import List, Optional, Tuple, Union
 
 __all__ = ["AutoscaleConfig"]
 
@@ -86,6 +86,15 @@ class AutoscaleConfig:
     instance_rps: Optional[float] = None
     #: Fractional capacity headroom provisioned above the forecast.
     headroom: float = 0.15
+    #: Seasonal cycle lengths in seconds (e.g. ``(86400, 604800)`` for
+    #: daily + weekly terms); ``None``/empty keeps the plain Holt forecast.
+    seasonal_periods: Optional[Tuple[float, ...]] = None
+    #: Smoothing factor for the additive seasonal indices.
+    seasonal_gamma: float = 0.3
+    #: Buckets per seasonal period: an int broadcasts to every period
+    #: (24 ≈ hourly resolution for a day); a tuple gives each period its own
+    #: resolution (e.g. ``(24, 168)`` for hourly daily *and* weekly terms).
+    seasonal_buckets: Union[int, Tuple[int, ...]] = 24
 
     def __post_init__(self):
         if self.min_instances < 0:
@@ -98,3 +107,16 @@ class AutoscaleConfig:
             raise ValueError("target_utilization must be in (0, 1]")
         if self.schedule:
             self.schedule = sorted(self.schedule)
+        if self.seasonal_periods:
+            if any(period <= 0 for period in self.seasonal_periods):
+                raise ValueError("seasonal_periods must be > 0")
+            if not 0.0 <= self.seasonal_gamma <= 1.0:
+                raise ValueError("seasonal_gamma must be in [0, 1]")
+            buckets = self.seasonal_buckets
+            if isinstance(buckets, int):
+                buckets = (buckets,) * len(self.seasonal_periods)
+            elif len(buckets) != len(self.seasonal_periods):
+                raise ValueError(
+                    "seasonal_buckets must match seasonal_periods in length")
+            if any(count < 1 for count in buckets):
+                raise ValueError("seasonal_buckets must be >= 1")

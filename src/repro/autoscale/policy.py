@@ -22,7 +22,7 @@ from __future__ import annotations
 
 import math
 from dataclasses import dataclass
-from typing import Callable, Dict, Optional
+from typing import Callable, Dict, Optional, Sequence
 
 from ..common import ConfigurationError
 from .config import AutoscaleConfig
@@ -243,6 +243,14 @@ class PredictivePolicy(ScalingPolicy):
     arrives — amortising exactly the cost ``bench_cold_start.py`` measures.
     Scale-down follows the same forecast but only after the lower estimate
     has held for ``scale_down_hold_s``.
+
+    Optional **seasonality**: ``seasonal_periods`` adds bucketed additive
+    seasonal indices (Holt-Winters style) per cycle — e.g. ``(86400,
+    604800)`` models a daily *and* a weekly rhythm.  The Holt level/trend
+    then track the *deseasonalized* rate, and forecasts add back the
+    seasonal component **at the forecast target time** — so the policy
+    pre-warms ahead of a recurring peak even when the instantaneous trend
+    is still flat.
     """
 
     name = "predictive"
@@ -252,11 +260,18 @@ class PredictivePolicy(ScalingPolicy):
                  instance_rps: Optional[float] = None,
                  headroom: float = 0.15,
                  queue_per_instance: int = 8,
-                 scale_down_hold_s: float = 60.0):
+                 scale_down_hold_s: float = 60.0,
+                 seasonal_periods: Optional[Sequence[float]] = None,
+                 seasonal_gamma: float = 0.3,
+                 seasonal_buckets=24):
         if not 0.0 < alpha <= 1.0:
             raise ValueError("alpha must be in (0, 1]")
         if not 0.0 <= beta <= 1.0:
             raise ValueError("beta must be in [0, 1]")
+        if seasonal_periods and any(p <= 0 for p in seasonal_periods):
+            raise ValueError("seasonal_periods must be > 0")
+        if not 0.0 <= seasonal_gamma <= 1.0:
+            raise ValueError("seasonal_gamma must be in [0, 1]")
         self.alpha = alpha
         self.beta = beta
         self.lead_s = lead_s
@@ -264,6 +279,25 @@ class PredictivePolicy(ScalingPolicy):
         self.headroom = headroom
         self.queue_per_instance = queue_per_instance
         self.scale_down_hold_s = scale_down_hold_s
+        self.seasonal_periods = tuple(seasonal_periods or ())
+        self.seasonal_gamma = seasonal_gamma
+        # An int broadcasts to every period; a sequence gives each period
+        # its own resolution (a weekly term usually needs finer buckets
+        # than 24, or whole days of pattern share one index).
+        if isinstance(seasonal_buckets, int):
+            buckets = (seasonal_buckets,) * len(self.seasonal_periods)
+        else:
+            buckets = tuple(seasonal_buckets)
+            if len(buckets) != len(self.seasonal_periods):
+                raise ValueError(
+                    "seasonal_buckets must match seasonal_periods in length")
+        if (isinstance(seasonal_buckets, int) and seasonal_buckets < 1) \
+                or any(b < 1 for b in buckets):
+            raise ValueError("seasonal_buckets must be >= 1")
+        #: Normalized per-period bucket counts.
+        self.seasonal_buckets = buckets
+        #: Additive seasonal indices: one bucket array per period.
+        self._seasonal = [[0.0] * count for count in buckets]
         self._level: Optional[float] = None
         self._trend = 0.0
         self._last_time: Optional[float] = None
@@ -271,25 +305,52 @@ class PredictivePolicy(ScalingPolicy):
         self._low_since: Optional[float] = None
 
     # -- forecasting ---------------------------------------------------------
+    def _bucket(self, index: int, t: float) -> int:
+        period = self.seasonal_periods[index]
+        count = self.seasonal_buckets[index]
+        return int((t % period) / period * count) % count
+
+    def seasonal_at(self, t: float) -> float:
+        """Total additive seasonal component at absolute time ``t``."""
+        return sum(self._seasonal[index][self._bucket(index, t)]
+                   for index in range(len(self.seasonal_periods)))
+
     def _observe(self, sample: MetricsSample) -> float:
-        """Holt update with the sample's arrival rate; returns dt."""
-        rate = sample.arrival_rate_rps
+        """Holt update with the (deseasonalized) arrival rate; returns dt."""
+        seasonal = self.seasonal_at(sample.time)
+        rate = sample.arrival_rate_rps - seasonal
         dt = 0.0 if self._last_time is None else sample.time - self._last_time
         self._last_time = sample.time
         if self._level is None:
             self._level = rate
-            return dt
-        previous = self._level
-        self._level = self.alpha * rate + (1.0 - self.alpha) * (self._level + self._trend)
-        self._trend = self.beta * (self._level - previous) + (1.0 - self.beta) * self._trend
+        else:
+            previous = self._level
+            self._level = self.alpha * rate + (1.0 - self.alpha) * (self._level + self._trend)
+            self._trend = self.beta * (self._level - previous) + (1.0 - self.beta) * self._trend
+        # Each period's index absorbs the residual the level and the *other*
+        # periods leave unexplained (multi-seasonal Holt-Winters, additive).
+        for index in range(len(self.seasonal_periods)):
+            bucket = self._bucket(index, sample.time)
+            others = seasonal - self._seasonal[index][bucket]
+            residual = sample.arrival_rate_rps - self._level - others
+            self._seasonal[index][bucket] = (
+                (1.0 - self.seasonal_gamma) * self._seasonal[index][bucket]
+                + self.seasonal_gamma * residual)
         return dt
 
     def forecast_rate(self, lead_s: float, dt: float) -> float:
-        """Arrival-rate forecast ``lead_s`` ahead (per-sample trend units)."""
+        """Arrival-rate forecast ``lead_s`` ahead (per-sample trend units).
+
+        With seasonal periods configured, the seasonal component is
+        evaluated at the *target* time — this is what lets the policy see a
+        daily or weekly peak coming while the current trend is flat.
+        """
         if self._level is None:
             return 0.0
         steps = lead_s / dt if dt > 0 else 0.0
-        return max(0.0, self._level + self._trend * steps)
+        seasonal = self.seasonal_at((self._last_time or 0.0) + lead_s) \
+            if self.seasonal_periods else 0.0
+        return max(0.0, self._level + self._trend * steps + seasonal)
 
     def _per_instance_rps(self, sample: MetricsSample) -> float:
         if self.instance_rps is not None:
@@ -536,6 +597,9 @@ register_policy("predictive", lambda cfg, d: PredictivePolicy(
     headroom=cfg.headroom,
     queue_per_instance=cfg.queue_per_instance or d.get("queue_per_instance", 8),
     scale_down_hold_s=cfg.scale_down_hold_s,
+    seasonal_periods=cfg.seasonal_periods,
+    seasonal_gamma=cfg.seasonal_gamma,
+    seasonal_buckets=cfg.seasonal_buckets,
 ))
 
 

@@ -11,12 +11,14 @@ create a cycle.  The middleware wiring is reachable lazily as
 from .export import dump_chrome_trace, to_chrome_trace
 from .kernel import KernelProfiler
 from .registry import Counter, Gauge, Histogram, MetricsRegistry
-from .trace import TRACE_KEY, Span, TraceContext, Tracer, TracerConfig, span_tree
+from .trace import (TRACE_KEY, Span, TraceContext, TraceShape, Tracer,
+                    TracerConfig, span_tree)
 
 __all__ = [
     "TRACE_KEY",
     "Span",
     "TraceContext",
+    "TraceShape",
     "Tracer",
     "TracerConfig",
     "span_tree",

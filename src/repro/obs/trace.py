@@ -15,7 +15,7 @@ no simulated-time spends, schedules no events and draws no random numbers,
 so simulation results are bit-identical with tracing on or off (pinned by
 golden-trace tests).
 
-Retention is two-tier so p99 exemplars survive aggressive sampling:
+Retention is three-tier so interesting exemplars survive aggressive sampling:
 
 * **head sampling** — the keep/drop decision is made at ``begin`` time
   (deterministically, from a hash of the trace id, or from an optional
@@ -23,15 +23,21 @@ Retention is two-tier so p99 exemplars survive aggressive sampling:
   a bounded FIFO ring;
 * **top-K-slowest reservoir** — independent of the head decision, the K
   slowest finished traces are always retained, so the worst requests are
-  inspectable even at ``sample_rate=0``.
+  inspectable even at ``sample_rate=0``;
+* **tail sampling** — an optional shape predicate
+  (:attr:`TracerConfig.tail_predicate`) inspects the *finished* trace's
+  :class:`TraceShape` — span count, error spans, layers crossed,
+  cross-cluster hops, duration — and keeps matches in their own bounded
+  FIFO ring.  Head sampling can only gamble at begin time; the tail tier
+  keeps every error or every multi-cluster request deterministically.
 """
 
 from __future__ import annotations
 
 import heapq
 from collections import deque
-from dataclasses import dataclass
-from typing import Any, Deque, Dict, List, Optional, Set, Tuple
+from dataclasses import dataclass, field
+from typing import Any, Callable, Deque, Dict, List, Optional, Set, Tuple
 
 from ..common import stable_seed
 
@@ -39,6 +45,7 @@ __all__ = [
     "TRACE_KEY",
     "Span",
     "TraceContext",
+    "TraceShape",
     "Tracer",
     "TracerConfig",
     "span_tree",
@@ -202,6 +209,54 @@ def span_tree(spans: List[dict]) -> List[dict]:
 
 
 @dataclass
+class TraceShape:
+    """Cheap structural summary of a finished trace, fed to tail predicates.
+
+    Built once per :meth:`Tracer.finish` (only when a
+    :attr:`~TracerConfig.tail_predicate` is installed) from the recorded
+    spans — no span objects escape, so predicates cannot mutate the trace.
+    """
+
+    trace_id: str = ""
+    duration_s: float = 0.0
+    span_count: int = 0
+    #: Spans recorded but not stored (past the per-trace cap).
+    dropped_spans: int = 0
+    #: Spans whose status is anything but ``"ok"``.
+    error_spans: int = 0
+    #: Distinct recording layers, sorted ("engine", "gateway", "relay", ...).
+    layers: Tuple[str, ...] = ()
+    #: Distinct cluster/endpoint identities seen in span attrs, sorted.
+    clusters: Tuple[str, ...] = ()
+    #: Boundary crossings implied by ``clusters`` (0 for single-cluster).
+    cross_cluster_hops: int = 0
+
+    @classmethod
+    def from_context(cls, ctx: "TraceContext") -> "TraceShape":
+        errors = 0
+        layers: Set[str] = set()
+        clusters: Set[str] = set()
+        for span in ctx.spans:
+            if span.status != "ok":
+                errors += 1
+            if span.layer:
+                layers.add(span.layer)
+            where = span.attrs.get("cluster") or span.attrs.get("endpoint")
+            if where:
+                clusters.add(str(where))
+        return cls(
+            trace_id=ctx.trace_id,
+            duration_s=ctx.duration_s,
+            span_count=len(ctx.spans),
+            dropped_spans=ctx.dropped_spans,
+            error_spans=errors,
+            layers=tuple(sorted(layers)),
+            clusters=tuple(sorted(clusters)),
+            cross_cluster_hops=max(0, len(clusters) - 1),
+        )
+
+
+@dataclass
 class TracerConfig:
     """Sampling and retention policy of a :class:`Tracer`."""
 
@@ -213,6 +268,14 @@ class TracerConfig:
     max_traces: int = 256
     #: Per-trace span cap (excess spans are counted, not stored).
     max_spans_per_trace: int = 512
+    #: Tail-sampling hook: called at finish time with the trace's
+    #: :class:`TraceShape`; return True to retain.  ``None`` disables the
+    #: tier.  The decision sees the *whole* trace (errors, hop counts),
+    #: which begin-time head sampling fundamentally cannot.
+    tail_predicate: Optional[Callable[[TraceShape], bool]] = field(
+        default=None, repr=False)
+    #: Bound on tail-kept traces (FIFO eviction, like the head ring).
+    max_tail_traces: int = 64
 
 
 class Tracer:
@@ -238,12 +301,15 @@ class Tracer:
         #: Min-heap of ``(duration, tiebreak, trace_id)`` — the K slowest.
         self._slow: List[Tuple[float, int, str]] = []
         self._slow_ids: Set[str] = set()
+        self._tail_ring: Deque[str] = deque()
+        self._tail_ids: Set[str] = set()
         self._finish_seq = 0
         # Counters (surfaced on dashboards / the metrics registry).
         self.begun = 0
         self.finished = 0
         self.kept_head = 0
         self.kept_slow = 0
+        self.kept_tail = 0
 
     # -- sampling ----------------------------------------------------------
     def _head_decision(self, trace_id: str) -> bool:
@@ -264,9 +330,11 @@ class Tracer:
         self.begun += 1
         sampled = self._head_decision(trace_id)
         # Spans are worth recording only if the trace has some path to
-        # retention: the head ring, or the slowest-K reservoir (which must
-        # see every trace's spans since slowness is only known at finish).
-        recording = sampled or self.config.slowest_k > 0
+        # retention: the head ring, the slowest-K reservoir, or a tail
+        # predicate (both of the latter decide at finish time, so they must
+        # see every trace's spans).
+        recording = (sampled or self.config.slowest_k > 0
+                     or self.config.tail_predicate is not None)
         return TraceContext(trace_id, self.env, sampled,
                             max_spans=self.config.max_spans_per_trace,
                             recording=recording)
@@ -306,12 +374,25 @@ class Tracer:
             retained = True
             self.kept_head += 1
 
+        predicate = self.config.tail_predicate
+        if predicate is not None and self.config.max_tail_traces > 0 \
+                and predicate(TraceShape.from_context(ctx)):
+            while len(self._tail_ring) >= self.config.max_tail_traces:
+                old = self._tail_ring.popleft()
+                self._tail_ids.discard(old)
+                self._maybe_drop(old)
+            self._tail_ring.append(trace_id)
+            self._tail_ids.add(trace_id)
+            retained = True
+            self.kept_tail += 1
+
         if retained:
             self._traces[trace_id] = ctx
         return retained
 
     def _maybe_drop(self, trace_id: str) -> None:
-        if trace_id not in self._head_ids and trace_id not in self._slow_ids:
+        if trace_id not in self._head_ids and trace_id not in self._slow_ids \
+                and trace_id not in self._tail_ids:
             self._traces.pop(trace_id, None)
 
     # -- retrieval ---------------------------------------------------------
@@ -325,11 +406,16 @@ class Tracer:
         """Retained ``(duration_s, trace_id)`` reservoir entries, slowest first."""
         return sorted(((d, tid) for d, _, tid in self._slow), reverse=True)
 
+    def tail_ids(self) -> List[str]:
+        """Trace ids currently held by the tail-sampling ring, oldest first."""
+        return list(self._tail_ring)
+
     def stats(self) -> dict:
         return {
             "begun": self.begun,
             "finished": self.finished,
             "kept_head": self.kept_head,
             "kept_slow": self.kept_slow,
+            "kept_tail": self.kept_tail,
             "retained": len(self._traces),
         }

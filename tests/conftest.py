@@ -25,6 +25,7 @@ if not HAS_NUMPY:
         "test_baselines_webui_rag.py",
         "test_common.py",
         "test_metrics_workload.py",
+        "test_parallel_federation.py",
         "test_serving_instance.py",
         "test_sweep.py",
     ]
