@@ -1,0 +1,88 @@
+"""detlint CLI: ``python -m repro.analysis src/ benchmarks/ examples/``.
+
+Exit status 0 when every finding is fixed, pragma'd or baselined; 1 when
+unsuppressed findings remain (the CI gate); 2 on usage errors.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from pathlib import Path
+
+from .engine import (
+    LintEngine,
+    apply_baseline,
+    load_baseline,
+    load_config,
+    render_json,
+    render_text,
+)
+from .rules import RULE_REGISTRY
+
+
+def find_root(start: Path) -> Path:
+    """Nearest ancestor holding pyproject.toml (falls back to ``start``)."""
+    for candidate in [start, *start.parents]:
+        if (candidate / "pyproject.toml").exists():
+            return candidate
+    return start
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.analysis",
+        description="detlint: determinism / architecture static analysis")
+    parser.add_argument("paths", nargs="*", default=["src"],
+                        help="files or directories to lint (default: src)")
+    parser.add_argument("--format", choices=("text", "json"), default="text",
+                        help="report format (json is stable-sorted by "
+                             "(path, line, rule))")
+    parser.add_argument("--output", type=Path, default=None,
+                        help="also write the report to this file (e.g. the "
+                             "CI findings artifact)")
+    parser.add_argument("--baseline", type=Path, default=None,
+                        help="JSON baseline of accepted findings to suppress")
+    parser.add_argument("--write-baseline", type=Path, default=None,
+                        help="write current findings as a new baseline and "
+                             "exit 0")
+    parser.add_argument("--root", type=Path, default=None,
+                        help="project root (default: nearest pyproject.toml)")
+    parser.add_argument("--list-rules", action="store_true",
+                        help="print the rule registry and exit")
+    args = parser.parse_args(argv)
+
+    if args.list_rules:
+        for name in sorted(RULE_REGISTRY):
+            print(f"{name}  {RULE_REGISTRY[name].description}")
+        return 0
+
+    root = (args.root or find_root(Path.cwd())).resolve()
+    engine = LintEngine(load_config(root), root)
+    findings = engine.lint(args.paths or ["src"])
+
+    if args.write_baseline is not None:
+        args.write_baseline.write_text(render_json(findings), encoding="utf-8")
+        print(f"wrote {len(findings)} finding(s) to {args.write_baseline}")
+        return 0
+
+    if args.baseline is not None:
+        if not args.baseline.exists():
+            print(f"baseline file not found: {args.baseline}", file=sys.stderr)
+            return 2
+        findings = apply_baseline(findings, load_baseline(args.baseline))
+
+    report = render_json(findings) if args.format == "json" else (
+        render_text(findings) + ("\n" if findings else ""))
+    if args.output is not None:
+        # The artifact is always the machine-readable form.
+        args.output.write_text(render_json(findings), encoding="utf-8")
+    sys.stdout.write(report)
+    if findings:
+        print(f"detlint: {len(findings)} finding(s)", file=sys.stderr)
+        return 1
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,504 @@
+"""detlint rule engine: config, pragmas, baselines, file walking, reports.
+
+The engine is deliberately small: it parses each file once, precomputes the
+shared per-file context (import alias map, package flags from
+``[tool.detlint]``), runs every enabled rule's :class:`ast.NodeVisitor`
+over the tree, then filters the collected findings through line pragmas
+and the optional baseline file.  Rules live in
+:mod:`repro.analysis.rules`; nothing here knows what any rule checks.
+
+Suppression forms (a *reason* is mandatory — a pragma without one is
+itself a finding, ``DET000``):
+
+* line pragma — ``x = time.time()  # detlint: disable=DET001 — reason``
+  (also honoured on a standalone comment line directly above the target);
+* file pragma — ``# detlint: disable-file=DET001 — reason`` anywhere at
+  module scope, suppressing the rule for the whole file;
+* config allowlists — e.g. ``[tool.detlint.allow_wallclock]`` maps a path
+  to the reason wall-clock reads are legitimate there (profiling layers
+  measure real wall time *about* the simulation, never inside it);
+* baseline — ``--baseline findings.json`` suppresses previously recorded
+  findings so the gate only fails on *new* ones.
+"""
+
+from __future__ import annotations
+
+import ast
+import json
+import re
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Dict, Iterable, List, Optional, Sequence, Set, Tuple
+
+__all__ = [
+    "DetlintConfig",
+    "FileContext",
+    "Finding",
+    "ImportMap",
+    "LintEngine",
+    "lint_paths",
+    "load_config",
+]
+
+
+# ---------------------------------------------------------------------------
+# findings
+
+
+@dataclass(frozen=True)
+class Finding:
+    """One rule violation at a source location."""
+
+    path: str  # posix-style, relative to the project root
+    line: int
+    col: int
+    rule: str
+    message: str
+
+    @property
+    def sort_key(self) -> Tuple[str, int, str, int, str]:
+        # (path, line, rule) first — the documented stable order for JSON
+        # output, so committed baseline diffs stay reviewable.
+        return (self.path, self.line, self.rule, self.col, self.message)
+
+    def to_dict(self) -> dict:
+        return {"path": self.path, "line": self.line, "col": self.col,
+                "rule": self.rule, "message": self.message}
+
+    def baseline_key(self) -> Tuple[str, int, str]:
+        return (self.path, self.line, self.rule)
+
+    def render(self) -> str:
+        return f"{self.path}:{self.line}:{self.col}: {self.rule} {self.message}"
+
+
+# ---------------------------------------------------------------------------
+# configuration
+
+
+def _parse_toml_minimal(text: str) -> dict:
+    """Tiny TOML subset parser for ``pyproject.toml`` on Python 3.10.
+
+    Python 3.11+ ships :mod:`tomllib`; on 3.10 (the package floor) this
+    fallback understands exactly the subset ``[tool.detlint]`` uses:
+    table headers, string / integer / boolean scalars, single-line and
+    multi-line arrays of strings, and quoted keys.  It is not a general
+    TOML parser and never needs to be.
+    """
+    root: dict = {}
+    table = root
+    lines = text.splitlines()
+    i = 0
+    while i < len(lines):
+        line = lines[i].strip()
+        i += 1
+        if not line or line.startswith("#"):
+            continue
+        if line.startswith("["):
+            name = line.strip("[]").strip()
+            table = root
+            for part in _split_table_name(name):
+                table = table.setdefault(part, {})
+            continue
+        if "=" not in line:
+            continue
+        key, _, value = line.partition("=")
+        key = key.strip().strip('"')
+        value = value.strip()
+        if value.startswith("[") and not value.endswith("]"):
+            # Multi-line array: accumulate until the closing bracket.
+            while i < len(lines) and not value.rstrip().endswith("]"):
+                value += " " + lines[i].strip()
+                i += 1
+        table[key] = _parse_toml_value(value)
+    return root
+
+
+def _split_table_name(name: str) -> List[str]:
+    parts, current, quoted = [], "", False
+    for ch in name:
+        if ch == '"':
+            quoted = not quoted
+        elif ch == "." and not quoted:
+            parts.append(current)
+            current = ""
+        else:
+            current += ch
+    parts.append(current)
+    return parts
+
+
+def _parse_toml_value(value: str):
+    value = value.strip()
+    if value.startswith("["):
+        inner = value[1:-1] if value.endswith("]") else value[1:]
+        return [v for v in (_strip_string(p) for p in _split_array(inner)) if v is not None]
+    if value in ("true", "false"):
+        return value == "true"
+    stripped = _strip_string(value)
+    if stripped is not None:
+        return stripped
+    try:
+        return int(value)
+    except ValueError:
+        return value
+
+
+def _split_array(inner: str) -> List[str]:
+    parts, current, quoted = [], "", False
+    for ch in inner:
+        if ch == '"':
+            quoted = not quoted
+            current += ch
+        elif ch == "," and not quoted:
+            parts.append(current)
+            current = ""
+        else:
+            current += ch
+    if current.strip():
+        parts.append(current)
+    return parts
+
+
+def _strip_string(value: str) -> Optional[str]:
+    value = value.strip()
+    if len(value) >= 2 and value[0] == '"' and value[-1] == '"':
+        return value[1:-1]
+    return None
+
+
+def _load_pyproject(path: Path) -> dict:
+    text = path.read_text(encoding="utf-8")
+    try:
+        import tomllib  # Python 3.11+
+    except ImportError:  # pragma: no cover - 3.10 fallback
+        return _parse_toml_minimal(text)
+    return tomllib.loads(text)
+
+
+@dataclass
+class Profile:
+    """Per-path-prefix rule selection (e.g. the relaxed exemplar profile)."""
+
+    name: str
+    paths: List[str] = field(default_factory=list)
+    disable: List[str] = field(default_factory=list)
+
+    def matches(self, path: str) -> bool:
+        return any(path == p or path.startswith(p.rstrip("/") + "/")
+                   for p in self.paths)
+
+
+@dataclass
+class DetlintConfig:
+    """Parsed ``[tool.detlint]`` section (with built-in defaults)."""
+
+    #: Path prefixes whose modules run on the simulated-time path; DET004
+    #: (unordered iteration / float accumulation) is enforced only there.
+    sim_path: List[str] = field(default_factory=list)
+    #: Observe-only path prefixes (ARCH001: no scheduling, no sim RNG).
+    observe_only: List[str] = field(default_factory=list)
+    #: Modules allowed to touch global RNG state and ``hash()`` — the
+    #: seeded-randomness substrate itself.
+    randomness_modules: List[str] = field(default_factory=list)
+    #: Wall-clock allowlist: path -> reason (DET001).  A reason is part of
+    #: the entry on purpose: the allowlist is documentation, not an escape.
+    allow_wallclock: Dict[str, str] = field(default_factory=dict)
+    #: ARCH002: the gateway API file/class and its committed method roster.
+    gateway_api_file: str = ""
+    gateway_api_class: str = "InferenceGatewayAPI"
+    gateway_api_methods: List[str] = field(default_factory=list)
+    #: Relaxed / alternative profiles by path prefix.
+    profiles: List[Profile] = field(default_factory=list)
+
+    def disabled_rules_for(self, path: str) -> Set[str]:
+        disabled: Set[str] = set()
+        for profile in self.profiles:
+            if profile.matches(path):
+                disabled.update(profile.disable)
+        return disabled
+
+
+def load_config(root: Path) -> DetlintConfig:
+    """Load ``[tool.detlint]`` from ``<root>/pyproject.toml`` (if present)."""
+    pyproject = root / "pyproject.toml"
+    data: dict = {}
+    if pyproject.exists():
+        data = _load_pyproject(pyproject).get("tool", {}).get("detlint", {})
+    profiles = [
+        Profile(name=name, paths=list(body.get("paths", [])),
+                disable=list(body.get("disable", [])))
+        for name, body in data.get("profiles", {}).items()
+    ]
+    return DetlintConfig(
+        sim_path=list(data.get("sim_path", [])),
+        observe_only=list(data.get("observe_only", [])),
+        randomness_modules=list(data.get("randomness_modules", [])),
+        allow_wallclock=dict(data.get("allow_wallclock", {})),
+        gateway_api_file=data.get("gateway_api_file", ""),
+        gateway_api_class=data.get("gateway_api_class", "InferenceGatewayAPI"),
+        gateway_api_methods=list(data.get("gateway_api_methods", [])),
+        profiles=profiles,
+    )
+
+
+# ---------------------------------------------------------------------------
+# import alias resolution (shared by several rules)
+
+
+class ImportMap:
+    """Maps local names to the dotted module/attribute they were imported as.
+
+    ``import numpy as np`` -> ``np`` = ``numpy``;
+    ``from time import perf_counter as pc`` -> ``pc`` = ``time.perf_counter``.
+    Rules resolve call targets through this map so aliasing cannot dodge a
+    rule (``import time as t; t.time()`` still resolves to ``time.time``).
+    """
+
+    def __init__(self, tree: ast.AST):
+        self.aliases: Dict[str, str] = {}
+        for node in ast.walk(tree):
+            if isinstance(node, ast.Import):
+                for alias in node.names:
+                    self.aliases[alias.asname or alias.name.partition(".")[0]] = (
+                        alias.name if alias.asname else alias.name.partition(".")[0])
+            elif isinstance(node, ast.ImportFrom) and node.module and node.level == 0:
+                for alias in node.names:
+                    if alias.name == "*":
+                        continue
+                    self.aliases[alias.asname or alias.name] = (
+                        f"{node.module}.{alias.name}")
+
+    def resolve(self, node: ast.AST) -> Optional[str]:
+        """Dotted name for a Name/Attribute chain, resolved through imports."""
+        parts: List[str] = []
+        while isinstance(node, ast.Attribute):
+            parts.append(node.attr)
+            node = node.value
+        if not isinstance(node, ast.Name):
+            return None
+        base = self.aliases.get(node.id, node.id)
+        parts.append(base)
+        return ".".join(reversed(parts))
+
+
+# ---------------------------------------------------------------------------
+# pragmas
+
+_PRAGMA_RE = re.compile(
+    r"#\s*detlint:\s*(?P<kind>disable|disable-file)\s*=\s*"
+    r"(?P<rules>[A-Z0-9]+(?:\s*,\s*[A-Z0-9]+)*)"
+    r"(?:\s*(?:—|--|-)\s*(?P<reason>\S.*))?")
+
+
+@dataclass
+class _Pragmas:
+    #: line -> rules suppressed on that line.
+    lines: Dict[int, Set[str]]
+    #: rules suppressed for the whole file.
+    file_rules: Set[str]
+    #: DET000 findings for pragmas missing the mandatory reason.
+    errors: List[Tuple[int, int, str]]
+
+
+def _iter_comments(source: str):
+    """Yield ``(lineno, col, text, is_standalone)`` for real comment tokens.
+
+    Tokenizing (rather than scanning raw lines) means pragma-looking text
+    inside string literals and docstrings can never register as a pragma —
+    or as a malformed one.
+    """
+    import io
+    import tokenize
+
+    try:
+        tokens = tokenize.generate_tokens(io.StringIO(source).readline)
+        for token in tokens:
+            if token.type == tokenize.COMMENT:
+                standalone = token.line[:token.start[1]].strip() == ""
+                yield token.start[0], token.start[1], token.string, standalone
+    except tokenize.TokenizeError:  # pragma: no cover - engine still lints
+        return
+
+
+def _collect_pragmas(source: str) -> _Pragmas:
+    lines: Dict[int, Set[str]] = {}
+    file_rules: Set[str] = set()
+    errors: List[Tuple[int, int, str]] = []
+    comments = list(_iter_comments(source))
+    #: Comment-only lines — a standalone pragma skips past its own comment
+    #: block (reasons often wrap over several lines) to the code below it.
+    comment_only = {lineno for lineno, _, _, standalone in comments if standalone}
+    for lineno, col, text, standalone in comments:
+        match = _PRAGMA_RE.search(text)
+        if match is None:
+            if "detlint:" in text:
+                errors.append((lineno, col + 1,
+                               "unparseable detlint pragma (expected "
+                               "'# detlint: disable=RULE — reason')"))
+            continue
+        rules = {r.strip() for r in match.group("rules").split(",")}
+        if not match.group("reason"):
+            errors.append((lineno, col + 1,
+                           f"pragma for {', '.join(sorted(rules))} is missing "
+                           "the mandatory reason ('# detlint: disable=RULE — "
+                           "why this is safe')"))
+            continue
+        if match.group("kind") == "disable-file":
+            file_rules.update(rules)
+            continue
+        if standalone:
+            # Standalone pragma comment: applies to the next source line
+            # (skipping the rest of its own comment block).
+            target = lineno + 1
+            while target in comment_only:
+                target += 1
+            lines.setdefault(target, set()).update(rules)
+        # A trailing pragma also covers the statement starting on its own
+        # line (flagged nodes report the statement's first line even when
+        # the pragma trails a continuation).
+        lines.setdefault(lineno, set()).update(rules)
+    return _Pragmas(lines=lines, file_rules=file_rules, errors=errors)
+
+
+# ---------------------------------------------------------------------------
+# per-file context handed to the rules
+
+
+@dataclass
+class FileContext:
+    """Everything a rule needs to know about the file under analysis."""
+
+    path: str  # project-root-relative posix path
+    tree: ast.Module
+    source: str
+    imports: ImportMap
+    config: DetlintConfig
+    findings: List[Finding] = field(default_factory=list)
+
+    def add(self, node: ast.AST, rule: str, message: str) -> None:
+        self.findings.append(Finding(
+            path=self.path, line=getattr(node, "lineno", 1),
+            col=getattr(node, "col_offset", 0) + 1, rule=rule, message=message))
+
+    # -- package-role predicates (driven by [tool.detlint]) ---------------
+    def _in_any(self, prefixes: Iterable[str]) -> bool:
+        return any(self.path == p or self.path.startswith(p.rstrip("/") + "/")
+                   for p in prefixes)
+
+    @property
+    def is_sim_path(self) -> bool:
+        return self._in_any(self.config.sim_path)
+
+    @property
+    def is_observe_only(self) -> bool:
+        return self._in_any(self.config.observe_only)
+
+    @property
+    def is_randomness_module(self) -> bool:
+        return self.path in self.config.randomness_modules
+
+    @property
+    def wallclock_reason(self) -> Optional[str]:
+        return self.config.allow_wallclock.get(self.path)
+
+
+# ---------------------------------------------------------------------------
+# the engine
+
+
+class LintEngine:
+    """Runs every registered rule over a set of files."""
+
+    def __init__(self, config: DetlintConfig, root: Path,
+                 rules: Optional[Dict[str, type]] = None):
+        from .rules import RULE_REGISTRY
+
+        self.config = config
+        self.root = root
+        self.rules = dict(rules if rules is not None else RULE_REGISTRY)
+
+    # -- discovery --------------------------------------------------------
+    def iter_files(self, paths: Sequence[str]) -> List[Path]:
+        files: List[Path] = []
+        for raw in paths:
+            path = (self.root / raw) if not Path(raw).is_absolute() else Path(raw)
+            if path.is_dir():
+                files.extend(sorted(path.rglob("*.py")))
+            elif path.suffix == ".py":
+                files.append(path)
+        return files
+
+    def _relpath(self, path: Path) -> str:
+        try:
+            return path.resolve().relative_to(self.root.resolve()).as_posix()
+        except ValueError:
+            return path.as_posix()
+
+    # -- single file ------------------------------------------------------
+    def lint_file(self, path: Path) -> List[Finding]:
+        rel = self._relpath(path)
+        source = path.read_text(encoding="utf-8")
+        try:
+            tree = ast.parse(source, filename=rel)
+        except SyntaxError as exc:
+            return [Finding(path=rel, line=exc.lineno or 1, col=1,
+                            rule="DET000", message=f"syntax error: {exc.msg}")]
+        pragmas = _collect_pragmas(source)
+        disabled = self.config.disabled_rules_for(rel) | pragmas.file_rules
+        ctx = FileContext(path=rel, tree=tree, source=source,
+                          imports=ImportMap(tree), config=self.config)
+        for name, rule_cls in sorted(self.rules.items()):
+            if name in disabled:
+                continue
+            rule_cls(ctx).visit(tree)
+        findings = [
+            f for f in ctx.findings
+            if f.rule not in pragmas.lines.get(f.line, ())
+        ]
+        findings.extend(
+            Finding(path=rel, line=line, col=col, rule="DET000", message=msg)
+            for line, col, msg in pragmas.errors)
+        return findings
+
+    # -- many files -------------------------------------------------------
+    def lint(self, paths: Sequence[str]) -> List[Finding]:
+        findings: List[Finding] = []
+        for path in self.iter_files(paths):
+            findings.extend(self.lint_file(path))
+        return sorted(findings, key=lambda f: f.sort_key)
+
+
+# ---------------------------------------------------------------------------
+# baseline + reports
+
+
+def load_baseline(path: Path) -> Set[Tuple[str, int, str]]:
+    data = json.loads(path.read_text(encoding="utf-8"))
+    entries = data["findings"] if isinstance(data, dict) else data
+    return {(e["path"], e["line"], e["rule"]) for e in entries}
+
+
+def apply_baseline(findings: List[Finding],
+                   baseline: Set[Tuple[str, int, str]]) -> List[Finding]:
+    return [f for f in findings if f.baseline_key() not in baseline]
+
+
+def render_text(findings: List[Finding]) -> str:
+    return "\n".join(f.render() for f in findings)
+
+
+def render_json(findings: List[Finding]) -> str:
+    """Stable JSON: findings sorted by ``(path, line, rule)`` so committed
+    baseline diffs are reviewable line-by-line."""
+    payload = {"findings": [f.to_dict()
+                            for f in sorted(findings, key=lambda f: f.sort_key)]}
+    return json.dumps(payload, indent=2, sort_keys=True) + "\n"
+
+
+def lint_paths(paths: Sequence[str], root: Optional[Path] = None,
+               config: Optional[DetlintConfig] = None) -> List[Finding]:
+    """Convenience one-call API (tests, notebooks): lint and return findings."""
+    root = root or Path.cwd()
+    config = config or load_config(root)
+    return LintEngine(config, root).lint(paths)

@@ -293,6 +293,11 @@ class Tracer:
         self.env = env
         self.config = config or TracerConfig()
         self._rng = rng
+        if rng is not None:
+            # The caller hands this stream over for sampling decisions; mark
+            # it so the DetSan runtime sanitizer knows draws from it are a
+            # dedicated sampler stream, not sim randomness.
+            rng.sampler_only = True
         self._seed = seed
         #: Retained traces by id (head ring ∪ slowest-K reservoir).
         self._traces: Dict[str, TraceContext] = {}
@@ -319,6 +324,9 @@ class Tracer:
         if rate <= 0.0:
             return False
         if self._rng is not None:
+            # detlint: disable=ARCH001 — dedicated sampler stream handed to the
+            # tracer for retention decisions (marked sampler_only above); it is
+            # never one of the simulation's RandomSource streams.
             return self._rng.uniform() < rate
         # Hash-based: deterministic per (seed, trace_id), order-independent.
         return (stable_seed("obs-head-sample", self._seed, trace_id) % (1 << 53)) \

@@ -13,7 +13,9 @@ Two index types are provided:
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Any, List, Optional, Sequence, Tuple
+from typing import Any, List, Optional, Sequence
+
+from ..common.randomness import RandomSource
 
 try:  # Vector search is numpy-only; the module stays importable without it.
     import numpy as np
@@ -93,7 +95,9 @@ class IVFIndex:
         self.n_lists = n_lists
         self.nprobe = min(nprobe, n_lists)
         self.kmeans_iters = kmeans_iters
-        self._rng = np.random.default_rng(seed)
+        # Same SeedSequence(seed) stream default_rng(seed) would build, but
+        # routed through the one sanctioned randomness substrate (DET002).
+        self._rng = RandomSource(seed).rng
         self._centroids: Optional[np.ndarray] = None
         self._lists: List[List[int]] = []
         self._vectors = np.empty((0, dim), dtype=np.float64)

@@ -2,6 +2,7 @@
 
 from __future__ import annotations
 
+import os as _os
 from collections import deque
 from itertools import count
 from typing import Any, Deque, Generator, Iterable, Optional
@@ -51,7 +52,8 @@ class Environment:
     regardless of the choice.
     """
 
-    def __init__(self, initial_time: float = 0.0, queue: str = "heap"):
+    def __init__(self, initial_time: float = 0.0, queue: str = "heap",
+                 sanitize: bool = False):
         self._now = float(initial_time)
         self._pending: EventQueue = make_event_queue(queue, self._now)
         #: Fast lane for zero-delay URGENT events (process starts, interrupts).
@@ -71,6 +73,14 @@ class Environment:
         #: keeps the kernel entirely unobserved: ``step`` stays the plain
         #: class method and hot paths only ever pay an ``is None`` check.
         self.profiler = None
+        #: Optional :class:`repro.analysis.DetSan`.  Attached only on request
+        #: (``sanitize=True`` or ``REPRO_DETSAN=1``) via the same shadow-step
+        #: pattern as the profiler, so the plain kernel pays nothing.
+        self.sanitizer = None
+        if sanitize or _os.environ.get("REPRO_DETSAN", "") not in ("", "0"):
+            from ..analysis.detsan import DetSan
+
+            DetSan().attach(self)
 
     # -- properties ------------------------------------------------------
     @property

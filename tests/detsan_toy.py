@@ -1,0 +1,21 @@
+"""Deliberately hash()-keyed toy scenario for the compare_hashseeds tests.
+
+Not a test module (pytest only collects ``test_*.py``); it exists so the
+:func:`repro.analysis.detsan.compare_hashseeds` subprocess halves can import
+a target whose "fingerprint" *does* depend on ``PYTHONHASHSEED`` — proving
+the harness detects exactly the bug class it gates against.
+"""
+
+import hashlib
+
+# detlint: disable-file=DET003 — this module exists to demonstrate the
+# hash() hazard the determinism harness must catch; it is never imported by
+# production code.
+
+_ITEMS = ["alpha", "beta", "gamma", "delta", "epsilon", "zeta", "eta", "theta"]
+
+
+def hash_keyed_fingerprint() -> str:
+    """A result keyed by builtin ``hash()`` ordering — the DET003 bug class."""
+    ordered = sorted(_ITEMS, key=lambda item: hash(item))
+    return hashlib.sha256(repr(ordered).encode()).hexdigest()

@@ -1,0 +1,551 @@
+"""detlint rule tests: planted-violation fixtures, negatives, pragmas.
+
+Every rule gets at least one fixture-backed positive (the violation is
+found) and one negative (the blessed idiom is not flagged), plus
+pragma-disable coverage.  Fixtures are written into a temp project tree so
+the tests exercise the same path-based package-role logic the real
+``pyproject.toml`` config drives.
+"""
+
+from __future__ import annotations
+
+import textwrap
+
+from repro.analysis.engine import (
+    DetlintConfig,
+    LintEngine,
+    Profile,
+    _parse_toml_minimal,
+    load_config,
+)
+
+
+def make_config(**overrides) -> DetlintConfig:
+    base = dict(
+        sim_path=["src/repro/sim"],
+        observe_only=["src/repro/obs"],
+        randomness_modules=["src/repro/common/randomness.py"],
+    )
+    base.update(overrides)
+    return DetlintConfig(**base)
+
+
+def lint_snippet(tmp_path, source: str, rel="src/repro/sim/mod.py",
+                 config: DetlintConfig = None):
+    """Write ``source`` at ``rel`` inside a temp project and lint it."""
+    path = tmp_path / rel
+    path.parent.mkdir(parents=True, exist_ok=True)
+    path.write_text(textwrap.dedent(source), encoding="utf-8")
+    engine = LintEngine(config or make_config(), tmp_path)
+    return engine.lint_file(path)
+
+
+def rules_of(findings):
+    return [f.rule for f in findings]
+
+
+# ---------------------------------------------------------------- DET001
+class TestWallClock:
+    def test_positive_time_time(self, tmp_path):
+        findings = lint_snippet(tmp_path, """
+            import time
+            def f():
+                return time.time()
+        """)
+        assert rules_of(findings) == ["DET001"]
+        assert "time.time" in findings[0].message
+
+    def test_positive_aliased_import(self, tmp_path):
+        # Aliasing must not dodge the rule.
+        findings = lint_snippet(tmp_path, """
+            from time import perf_counter as pc
+            import datetime as dt
+            def f():
+                return pc(), dt.datetime.now()
+        """)
+        assert rules_of(findings) == ["DET001", "DET001"]
+
+    def test_negative_env_now(self, tmp_path):
+        findings = lint_snippet(tmp_path, """
+            def f(env):
+                return env.now + 1.0
+        """)
+        assert findings == []
+
+    def test_negative_sleep_like_names(self, tmp_path):
+        # Only clock *reads* are wall-clock hazards; time.sleep and
+        # user-defined .time() attributes are out of scope.
+        findings = lint_snippet(tmp_path, """
+            import time
+            def f(obj):
+                time.sleep(0)
+                return obj.time()
+        """)
+        assert findings == []
+
+    def test_allowlisted_file_is_exempt(self, tmp_path):
+        config = make_config(
+            allow_wallclock={"src/repro/sim/mod.py": "profiling wall time"})
+        findings = lint_snippet(tmp_path, """
+            import time
+            def f():
+                return time.perf_counter()
+        """, config=config)
+        assert findings == []
+
+    def test_pragma_disable_with_reason(self, tmp_path):
+        findings = lint_snippet(tmp_path, """
+            import time
+            def f():
+                return time.time()  # detlint: disable=DET001 — wall profiling
+        """)
+        assert findings == []
+
+    def test_pragma_without_reason_is_det000_and_does_not_suppress(self, tmp_path):
+        findings = lint_snippet(tmp_path, """
+            import time
+            def f():
+                return time.time()  # detlint: disable=DET001
+        """)
+        assert sorted(rules_of(findings)) == ["DET000", "DET001"]
+
+    def test_standalone_pragma_covers_next_line(self, tmp_path):
+        findings = lint_snippet(tmp_path, """
+            import time
+            def f():
+                # detlint: disable=DET001 — measuring the host, reason spans
+                # a second comment line before the code it covers
+                return time.time()
+        """)
+        assert findings == []
+
+
+# ---------------------------------------------------------------- DET002
+class TestGlobalRandom:
+    def test_positive_global_random(self, tmp_path):
+        findings = lint_snippet(tmp_path, """
+            import random
+            def f():
+                return random.random() + random.randint(0, 3)
+        """)
+        assert rules_of(findings) == ["DET002", "DET002"]
+
+    def test_positive_numpy_random(self, tmp_path):
+        findings = lint_snippet(tmp_path, """
+            import numpy as np
+            def f(seed):
+                return np.random.default_rng(seed)
+        """)
+        assert rules_of(findings) == ["DET002"]
+        assert "RandomSource" in findings[0].message
+
+    def test_positive_from_import(self, tmp_path):
+        findings = lint_snippet(tmp_path, """
+            from random import shuffle
+            def f(items):
+                shuffle(items)
+        """)
+        assert rules_of(findings) == ["DET002"]
+
+    def test_negative_seeded_instance(self, tmp_path):
+        # Explicit seeded instances are deterministic and hash-independent.
+        findings = lint_snippet(tmp_path, """
+            import random
+            def f():
+                rng = random.Random(12345)
+                return rng.random()
+        """)
+        assert findings == []
+
+    def test_negative_randomness_module_itself(self, tmp_path):
+        findings = lint_snippet(tmp_path, """
+            import numpy as np
+            def spawn(seed):
+                return np.random.default_rng(np.random.SeedSequence(seed))
+        """, rel="src/repro/common/randomness.py")
+        assert findings == []
+
+
+# ---------------------------------------------------------------- DET003
+class TestBuiltinHash:
+    def test_positive(self, tmp_path):
+        findings = lint_snippet(tmp_path, """
+            def key_for(model):
+                return hash((model, 7))
+        """)
+        assert rules_of(findings) == ["DET003"]
+        assert "stable_seed" in findings[0].message
+
+    def test_negative_stable_seed_and_methods(self, tmp_path):
+        findings = lint_snippet(tmp_path, """
+            from repro.common import stable_seed
+            def key_for(model, obj):
+                return stable_seed(model, 7) + obj.hash()
+        """)
+        assert findings == []
+
+    def test_negative_shadowed_import(self, tmp_path):
+        findings = lint_snippet(tmp_path, """
+            from mylib import hash
+            def f(x):
+                return hash(x)
+        """)
+        assert findings == []
+
+
+# ---------------------------------------------------------------- DET004
+class TestUnorderedIteration:
+    def test_positive_for_over_set_call(self, tmp_path):
+        findings = lint_snippet(tmp_path, """
+            def f(items):
+                for x in set(items):
+                    print(x)
+        """)
+        assert rules_of(findings) == ["DET004"]
+
+    def test_positive_sum_over_set_variable(self, tmp_path):
+        findings = lint_snippet(tmp_path, """
+            def f(values):
+                pending = set(values)
+                return sum(pending)
+        """)
+        assert rules_of(findings) == ["DET004"]
+
+    def test_positive_comprehension_over_annotated_set(self, tmp_path):
+        findings = lint_snippet(tmp_path, """
+            from typing import Set
+            def f(active: Set[str]):
+                return [x.upper() for x in active]
+        """)
+        assert rules_of(findings) == ["DET004"]
+
+    def test_positive_set_union_binop(self, tmp_path):
+        findings = lint_snippet(tmp_path, """
+            def f(a, b):
+                for x in set(a) | set(b):
+                    print(x)
+        """)
+        assert rules_of(findings) == ["DET004"]
+
+    def test_negative_sorted_iteration(self, tmp_path):
+        findings = lint_snippet(tmp_path, """
+            def f(items):
+                seen = set(items)
+                for x in sorted(seen):
+                    print(x)
+                return sum(sorted(seen))
+        """)
+        assert findings == []
+
+    def test_negative_dict_and_list_iteration(self, tmp_path):
+        # dicts iterate in insertion order — deterministic.
+        findings = lint_snippet(tmp_path, """
+            def f(table, rows):
+                for key, value in table.items():
+                    print(key, value)
+                for row in rows:
+                    print(row)
+        """)
+        assert findings == []
+
+    def test_negative_membership_and_len(self, tmp_path):
+        # Order-independent set *uses* are fine.
+        findings = lint_snippet(tmp_path, """
+            def f(items, x):
+                seen = set(items)
+                return x in seen, len(seen), min(seen)
+        """)
+        assert findings == []
+
+    def test_not_enforced_off_sim_path(self, tmp_path):
+        findings = lint_snippet(tmp_path, """
+            def f(items):
+                for x in set(items):
+                    print(x)
+        """, rel="src/repro/webui/mod.py")
+        assert findings == []
+
+
+# ---------------------------------------------------------------- DET005
+class TestPickleUnsafe:
+    def test_positive_lambda_argument(self, tmp_path):
+        findings = lint_snippet(tmp_path, """
+            from repro.sweep import ScenarioSpec
+            def build():
+                return ScenarioSpec(key="k", runner=lambda spec: {})
+        """)
+        assert rules_of(findings) == ["DET005"]
+
+    def test_positive_nested_function(self, tmp_path):
+        findings = lint_snippet(tmp_path, """
+            from repro.sweep import SweepSpec
+            def build():
+                def local_runner(spec):
+                    return {}
+                return SweepSpec(name="s", runner=local_runner)
+        """)
+        assert rules_of(findings) == ["DET005"]
+        assert "local_runner" in findings[0].message
+
+    def test_positive_lambda_in_params_dict(self, tmp_path):
+        findings = lint_snippet(tmp_path, """
+            from repro.sweep import ScenarioSpec
+            def build():
+                return ScenarioSpec(key="k", runner="engine",
+                                    params={"hook": lambda: 1})
+        """)
+        assert rules_of(findings) == ["DET005"]
+
+    def test_negative_registered_name_and_module_callable(self, tmp_path):
+        findings = lint_snippet(tmp_path, """
+            from repro.sweep import ScenarioSpec
+
+            def module_runner(spec):
+                return {}
+
+            def build():
+                a = ScenarioSpec(key="a", runner="engine")
+                b = ScenarioSpec(key="b", runner=module_runner)
+                return a, b
+        """)
+        assert findings == []
+
+
+# ---------------------------------------------------------------- ARCH001
+class TestObserveOnly:
+    def test_positive_scheduling_and_draws(self, tmp_path):
+        findings = lint_snippet(tmp_path, """
+            def hook(env, rng):
+                env.schedule(None, 1.0)
+                return env.timeout(0.5), rng.uniform()
+        """, rel="src/repro/obs/mod.py")
+        assert rules_of(findings) == ["ARCH001", "ARCH001", "ARCH001"]
+
+    def test_negative_reading_now(self, tmp_path):
+        findings = lint_snippet(tmp_path, """
+            def hook(env):
+                return env.now, env.queue_size
+        """, rel="src/repro/obs/mod.py")
+        assert findings == []
+
+    def test_not_enforced_outside_obs(self, tmp_path):
+        findings = lint_snippet(tmp_path, """
+            def f(env):
+                return env.timeout(1.0)
+        """, rel="src/repro/serving/mod.py")
+        assert findings == []
+
+
+# ---------------------------------------------------------------- ARCH002
+class TestGatewayApi:
+    GATEWAY = """
+        class InferenceGatewayAPI:
+            def __init__(self):
+                pass
+            def route(self, model):
+                pass
+            def new_feature(self, body):
+                pass
+    """
+
+    def config(self):
+        return make_config(
+            gateway_api_file="src/repro/gateway/app.py",
+            gateway_api_methods=["__init__", "route"])
+
+    def test_positive_new_method(self, tmp_path):
+        findings = lint_snippet(tmp_path, self.GATEWAY,
+                                rel="src/repro/gateway/app.py",
+                                config=self.config())
+        assert rules_of(findings) == ["ARCH002"]
+        assert "new_feature" in findings[0].message
+        assert "middleware_factories" in findings[0].message
+
+    def test_negative_rostered_methods_only(self, tmp_path):
+        findings = lint_snippet(tmp_path, """
+            class InferenceGatewayAPI:
+                def __init__(self):
+                    pass
+                def route(self, model):
+                    pass
+        """, rel="src/repro/gateway/app.py", config=self.config())
+        assert findings == []
+
+    def test_other_files_not_checked(self, tmp_path):
+        findings = lint_snippet(tmp_path, self.GATEWAY,
+                                rel="src/repro/gateway/other.py",
+                                config=self.config())
+        assert findings == []
+
+
+# ---------------------------------------------------------------- engine
+class TestEngine:
+    def test_profile_disables_rules_by_path(self, tmp_path):
+        config = make_config(profiles=[
+            Profile(name="exemplar", paths=["benchmarks"], disable=["DET001"])])
+        source = """
+            import time
+            def f():
+                return time.time()
+        """
+        assert lint_snippet(tmp_path, source, rel="benchmarks/bench_x.py",
+                            config=config) == []
+        assert rules_of(lint_snippet(tmp_path, source, config=config)) \
+            == ["DET001"]
+
+    def test_file_pragma(self, tmp_path):
+        findings = lint_snippet(tmp_path, """
+            # detlint: disable-file=DET003 — fixture demonstrating hash hazards
+            def f(x):
+                return hash(x), hash(x)
+        """)
+        assert findings == []
+
+    def test_findings_sorted_and_json_stable(self, tmp_path):
+        from repro.analysis.engine import render_json
+
+        findings = lint_snippet(tmp_path, """
+            import time
+            def f(items):
+                for x in set(items):
+                    print(x)
+                return time.time(), hash(x)
+        """)
+        assert len(findings) == 3
+        # JSON output is stable-sorted by (path, line, rule) regardless of
+        # the order findings were collected in.
+        rendered = render_json(findings)
+        assert rendered == render_json(list(reversed(findings)))
+        lines = [f["line"] for f in __import__("json").loads(rendered)["findings"]]
+        assert lines == sorted(lines)
+
+    def test_baseline_suppresses_known_findings(self, tmp_path):
+        import json
+
+        from repro.analysis.engine import apply_baseline, load_baseline
+
+        findings = lint_snippet(tmp_path, """
+            import time
+            def f():
+                return time.time()
+        """)
+        assert len(findings) == 1
+        baseline_file = tmp_path / "baseline.json"
+        baseline_file.write_text(json.dumps(
+            {"findings": [findings[0].to_dict()]}), encoding="utf-8")
+        assert apply_baseline(findings, load_baseline(baseline_file)) == []
+
+    def test_pragma_in_string_literal_is_inert(self, tmp_path):
+        findings = lint_snippet(tmp_path, """
+            MESSAGE = "use '# detlint: disable=DET001 — reason' to suppress"
+            DOC = "# detlint: nonsense"
+        """)
+        assert findings == []
+
+    def test_syntax_error_is_reported_not_raised(self, tmp_path):
+        findings = lint_snippet(tmp_path, "def broken(:\n")
+        assert rules_of(findings) == ["DET000"]
+
+    def test_minimal_toml_parser_matches_real_config(self):
+        text = """
+        [tool.detlint]
+        sim_path = ["src/repro/sim", "src/repro/serving"]
+        gateway_api_class = "InferenceGatewayAPI"
+        gateway_api_methods = [
+            "__init__", "route",
+        ]
+
+        [tool.detlint.allow_wallclock]
+        "src/repro/obs/kernel.py" = "profiles wall time"
+
+        [tool.detlint.profiles.exemplar]
+        paths = ["benchmarks"]
+        disable = ["DET001"]
+        """
+        parsed = _parse_toml_minimal(textwrap.dedent(text))
+        detlint = parsed["tool"]["detlint"]
+        assert detlint["sim_path"] == ["src/repro/sim", "src/repro/serving"]
+        assert detlint["gateway_api_methods"] == ["__init__", "route"]
+        assert detlint["allow_wallclock"]["src/repro/obs/kernel.py"] \
+            == "profiles wall time"
+        assert detlint["profiles"]["exemplar"]["disable"] == ["DET001"]
+        try:
+            import tomllib
+        except ImportError:
+            return
+        assert parsed == tomllib.loads(textwrap.dedent(text))
+
+    def test_load_config_reads_repo_pyproject(self):
+        from pathlib import Path
+
+        config = load_config(Path(__file__).resolve().parents[1])
+        assert "src/repro/sim" in config.sim_path
+        assert "src/repro/obs/kernel.py" in config.allow_wallclock
+        # Allowlist entries must carry a non-empty reason.
+        assert all(reason.strip() for reason in config.allow_wallclock.values())
+        assert "route" in config.gateway_api_methods
+
+
+# ---------------------------------------------------------------- CLI
+class TestCli:
+    def write_project(self, tmp_path, source):
+        (tmp_path / "pyproject.toml").write_text(textwrap.dedent("""
+            [tool.detlint]
+            sim_path = ["src/repro/sim"]
+        """), encoding="utf-8")
+        mod = tmp_path / "src/repro/sim/mod.py"
+        mod.parent.mkdir(parents=True)
+        mod.write_text(textwrap.dedent(source), encoding="utf-8")
+
+    def test_exit_codes_and_json_output(self, tmp_path, capsys):
+        import json
+
+        from repro.analysis.__main__ import main
+
+        self.write_project(tmp_path, """
+            import time
+            def f():
+                return time.time()
+        """)
+        out = tmp_path / "findings.json"
+        code = main(["src", "--root", str(tmp_path),
+                     "--format", "json", "--output", str(out)])
+        assert code == 1
+        data = json.loads(out.read_text(encoding="utf-8"))
+        assert [f["rule"] for f in data["findings"]] == ["DET001"]
+        keys = [(f["path"], f["line"], f["rule"]) for f in data["findings"]]
+        assert keys == sorted(keys)
+        capsys.readouterr()
+
+    def test_clean_tree_exits_zero(self, tmp_path, capsys):
+        from repro.analysis.__main__ import main
+
+        self.write_project(tmp_path, "def f(env):\n    return env.now\n")
+        assert main(["src", "--root", str(tmp_path)]) == 0
+        capsys.readouterr()
+
+    def test_write_then_apply_baseline(self, tmp_path, capsys):
+        from repro.analysis.__main__ import main
+
+        self.write_project(tmp_path, """
+            import time
+            def f():
+                return time.time()
+        """)
+        baseline = tmp_path / "baseline.json"
+        assert main(["src", "--root", str(tmp_path),
+                     "--write-baseline", str(baseline)]) == 0
+        assert main(["src", "--root", str(tmp_path),
+                     "--baseline", str(baseline)]) == 0
+        capsys.readouterr()
+
+    def test_repo_tree_is_clean(self):
+        """The acceptance gate: src/, benchmarks/ and examples/ lint clean
+        with no baseline."""
+        from pathlib import Path
+
+        from repro.analysis.__main__ import main
+
+        root = Path(__file__).resolve().parents[1]
+        assert main(["src", "benchmarks", "examples",
+                     "--root", str(root)]) == 0
